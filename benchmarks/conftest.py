@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures at laptop scale
+and asserts its *shape* (who wins, roughly by how much, where the
+crossovers fall) rather than absolute numbers.  ``pytest-benchmark``
+times a single round per experiment — the simulations are seconds each,
+so statistical repetition would only burn wall-clock without changing
+the asserted shapes.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* with one warm round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

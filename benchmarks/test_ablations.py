@@ -1,0 +1,115 @@
+"""Ablations of TAQ's design choices (DESIGN.md §5).
+
+Each ablation disables one mechanism and checks the consequence the
+paper's design discussion predicts:
+
+- no recovery-service cap -> recovery traffic can eat a large service
+  share (the "all original packets get dropped and only retransmitted
+  packets get transmitted" failure mode of §3.2);
+- no fair-share split -> short-term fairness degrades toward droptail;
+- no silence-length priority in the recovery queue -> more repetitive
+  timeouts survive;
+- the full TAQ beats every ablation on its own target metric.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.scheduler import PacketClass
+from repro.experiments.runner import build_dumbbell
+from repro.workloads import spawn_bulk_flows
+
+CAPACITY = 600_000.0
+N_FLOWS = 120
+DURATION = 100.0
+
+
+def run_taq(seed=1, flow_kwargs=None, **taq_kwargs):
+    bench = build_dumbbell("taq", CAPACITY, rtt=0.2, seed=seed, **taq_kwargs)
+    flows = spawn_bulk_flows(bench.bell, N_FLOWS, start_window=5.0, extra_rtt_max=0.1,
+                             **(flow_kwargs or {}))
+    bench.sim.run(until=DURATION)
+    flow_ids = [f.flow_id for f in flows]
+    return {
+        "jfi": bench.collector.mean_short_term_jain(flow_ids),
+        "repetitive_timeouts": sum(f.sender.stats.repetitive_timeouts for f in flows),
+        "timeouts": sum(f.sender.stats.timeouts for f in flows),
+        "recovery_served": bench.queue.scheduler.stats[PacketClass.RECOVERY].served,
+        "total_served": sum(s.served for s in bench.queue.scheduler.stats.values()),
+        "utilization": bench.bell.forward.stats.utilization(CAPACITY, DURATION),
+    }
+
+
+def test_ablation_fair_share_split(benchmark):
+    full = run_taq()
+    ablated = run_once(benchmark, run_taq, classify_fair_share=False)
+    # The Below/Above split is the fairness engine.
+    assert full["jfi"] > ablated["jfi"]
+
+
+def test_ablation_recovery_cap(benchmark):
+    capped = run_taq()
+    uncapped = run_once(benchmark, run_taq, recovery_service_share=1.0)
+    capped_share = capped["recovery_served"] / capped["total_served"]
+    uncapped_share = uncapped["recovery_served"] / uncapped["total_served"]
+    # Without the cap, recovery consumes a visibly larger service share
+    # (the cap is work-conserving, so its effective share sits above the
+    # nominal 0.3 whenever the other queues run dry — but well below the
+    # uncapped free-for-all).
+    assert uncapped_share > capped_share + 0.05
+    # Both configurations keep the link busy.
+    assert capped["utilization"] > 0.9
+    assert uncapped["utilization"] > 0.9
+
+
+def test_ablation_silence_priority(benchmark):
+    prioritized = run_taq()
+    fifo = run_once(benchmark, run_taq, silence_priority=False)
+    # Measured result (recorded in EXPERIMENTS.md): at this scale the
+    # recovery queue is almost always short, so ordering it by silence
+    # length is behaviour-preserving rather than a win — fairness and
+    # timeout counts stay within noise of the FIFO variant.
+    assert abs(prioritized["jfi"] - fifo["jfi"]) < 0.1
+    assert prioritized["timeouts"] < fifo["timeouts"] * 1.3
+    assert fifo["timeouts"] < prioritized["timeouts"] * 1.3
+
+
+def test_ablation_new_flow_cap_bounds_syn_burst(benchmark):
+    # With a tiny NewFlow cap, a SYN flood of new connections cannot
+    # occupy the whole buffer.
+    result = run_once(benchmark, run_taq, new_flow_capacity=4)
+    assert result["utilization"] > 0.9
+    assert result["jfi"] > 0.5
+
+
+def test_ablation_one_way_mode_still_works(benchmark):
+    """§3.3: without ACK visibility TAQ falls back to SYN-gap + burst
+    epoch estimation.  One-way mode must retain most of the fairness win
+    (it is the deployment reality for asymmetric-routing middleboxes)."""
+    two_way = run_taq()
+    one_way = run_once(benchmark, run_taq, reverse_tap=False)
+    assert one_way["utilization"] > 0.9
+    # Within a modest band of the two-way configuration.
+    assert one_way["jfi"] > two_way["jfi"] - 0.15
+    assert one_way["jfi"] > 0.5
+
+
+def test_ablation_delayed_acks_do_not_break_taq(benchmark):
+    """§2.3 disables delayed ACKs to expose congestion dynamics; real
+    receivers delay.  TAQ's tracking must survive delayed-ack receivers
+    (fewer ACKs -> fewer two-way epoch samples)."""
+
+    def run_delayed():
+        bench = build_dumbbell("taq", CAPACITY, rtt=0.2, seed=1)
+        flows = spawn_bulk_flows(bench.bell, N_FLOWS, start_window=5.0,
+                                 extra_rtt_max=0.1)
+        for flow in flows:
+            flow.receiver.delayed_ack = True
+        bench.sim.run(until=DURATION)
+        flow_ids = [f.flow_id for f in flows]
+        return {
+            "jfi": bench.collector.mean_short_term_jain(flow_ids),
+            "utilization": bench.bell.forward.stats.utilization(CAPACITY, DURATION),
+        }
+
+    delayed = run_once(benchmark, run_delayed)
+    assert delayed["utilization"] > 0.85
+    assert delayed["jfi"] > 0.45

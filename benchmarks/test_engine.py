@@ -1,0 +1,76 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these guard the performance envelope that makes
+the figure sweeps tractable (hundreds of thousands of events per
+second) and catch accidental slowdowns in the hot paths.
+"""
+
+from repro.net.packet import DATA, Packet
+from repro.queues.droptail import DropTailQueue
+from repro.queues.sfq import SFQQueue
+from repro.sim.simulator import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_droptail_enqueue_dequeue(benchmark):
+    queue = DropTailQueue(1000)
+    packets = [Packet(i % 50, DATA, seq=i, size=500) for i in range(1000)]
+
+    def churn():
+        for p in packets:
+            queue.enqueue(p, 0.0)
+        drained = 0
+        while queue.dequeue(0.0) is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 1000
+
+
+def test_sfq_enqueue_dequeue(benchmark):
+    queue = SFQQueue(1000, buckets=64)
+    packets = [Packet(i % 50, DATA, seq=i, size=500) for i in range(1000)]
+
+    def churn():
+        for p in packets:
+            queue.enqueue(p, 0.0)
+        drained = 0
+        while queue.dequeue(0.0) is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 1000
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    from repro.net.topology import Dumbbell
+    from repro.tcp.flow import TcpFlow
+
+    def run_sim():
+        sim = Simulator(seed=3)
+        bell = Dumbbell(sim, 1_000_000, 0.2)
+        flows = [
+            TcpFlow(bell, i, size_segments=None, start_time=0.01 * i)
+            for i in range(50)
+        ]
+        sim.run(until=20.0)
+        return bell.forward.stats.delivered
+
+    delivered = benchmark(run_sim)
+    assert delivered > 2000

@@ -1,0 +1,37 @@
+"""FIG1 bench — the proxy-eye view of a pathologically shared link.
+
+Shape asserted (paper §2.2, Fig 1):
+
+- download times for comparable object sizes spread over roughly two
+  orders of magnitude;
+- small objects regularly take many seconds despite fitting in a few
+  packets;
+- the relative spread narrows for the largest objects.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_download_times as fig1
+from repro.metrics.downloads import log_bucket
+
+
+def small_config():
+    return fig1.Config(n_clients=35, duration=200.0)
+
+
+def test_fig01_download_spread_shape(benchmark):
+    result = run_once(benchmark, fig1.run, small_config())
+
+    assert result.completed > 100
+    # Overall spread of ~2 orders of magnitude.
+    assert result.spread() > 1.5
+    by_bucket = {b.bucket: b for b in result.buckets}
+    # The web-page range (1-10 KB and 10-100 KB) shows wide spread.
+    assert 3 in by_bucket and 4 in by_bucket
+    assert by_bucket[3].maximum / by_bucket[3].minimum > 10
+    # Small objects often take many seconds at the 90th percentile.
+    assert by_bucket[3].p90 > 2.0
+    # Relative spread shrinks for the biggest bucket present.
+    biggest = max(by_bucket)
+    small_ratio = by_bucket[3].maximum / by_bucket[3].minimum
+    big_ratio = by_bucket[biggest].maximum / by_bucket[biggest].minimum
+    assert big_ratio < small_ratio

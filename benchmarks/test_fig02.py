@@ -1,0 +1,43 @@
+"""FIG2 bench — DropTail fairness collapse in small packet regimes.
+
+Shape asserted (paper §2.3, Fig 2):
+
+- short-term (20 s slice) JFI collapses (< 0.5) once the per-flow fair
+  share drops to ~5 Kbps (sub-packet regime);
+- short-term JFI improves as the fair share grows;
+- long-term JFI exceeds short-term JFI in the breakdown region;
+- link utilization stays high (> 0.9) throughout;
+- a sizable fraction of flows is completely shut out of short slices.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02_fairness_droptail as fig2
+
+
+def small_config():
+    return fig2.Config(
+        capacities_bps=(600_000.0,),
+        fair_shares_bps=(2_500.0, 20_000.0, 40_000.0),
+        duration=120.0,
+    )
+
+
+def test_fig02_droptail_fairness_shape(benchmark):
+    result = run_once(benchmark, fig2.run, small_config())
+    by_share = {round(p.fair_share_bps / 1000, 1): p for p in result.points}
+    deep, mid, mild = by_share[2.5], by_share[20.0], by_share[40.0]
+
+    # Deep sub-packet regime: short-term fairness collapses.
+    assert deep.packets_per_rtt < 0.5
+    assert deep.short_term_jain < 0.5
+    # Fairness improves with fair share.
+    assert deep.short_term_jain < mid.short_term_jain < mild.short_term_jain + 0.1
+    # Long-term fairness is better than short-term in the breakdown region.
+    assert deep.long_term_jain > deep.short_term_jain
+    # Utilization stays high: the breakdown is about fairness, not goodput.
+    for point in result.points:
+        assert point.utilization > 0.9
+    # Many flows are shut out over short slices (§2.3 reports ~30%).
+    assert deep.shut_out_fraction > 0.15
+    # Timeouts are rampant deep in the regime.
+    assert deep.timeouts > deep.n_flows

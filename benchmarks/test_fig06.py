@@ -1,0 +1,74 @@
+"""FIG6 bench — the Markov model matches the simulated state census.
+
+Shape asserted (paper §3.1.2, Fig 6):
+
+- for loss rates past ~0.05 the partial model's census tracks the
+  simulation (small L1 distance, close agreement on the 0/1/2-sent
+  buckets);
+- agreement improves as p grows (the model is built for the breakdown
+  region);
+- both sim and model put more mass on "0 sent" as p grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_model_validation as fig6
+
+
+def small_config():
+    return fig6.Config(
+        capacities_bps=(750_000.0,),
+        flow_counts=(90, 150),
+        duration=100.0,
+    )
+
+
+def test_fig06_model_agreement_shape(benchmark):
+    result = run_once(benchmark, fig6.run, small_config())
+    points = sorted(result.points, key=lambda p: p.loss_rate)
+    low_p, high_p = points[0], points[-1]
+
+    assert high_p.loss_rate > 0.05
+    # Close agreement in the regime the model targets.
+    assert high_p.l1_distance("partial") < 0.5
+    for k in (0, 1, 2):
+        assert abs(high_p.sim_census[k] - high_p.partial_census[k]) < 0.12
+    # Agreement improves (or at least does not degrade much) with p.
+    assert high_p.l1_distance("partial") <= low_p.l1_distance("partial") + 0.05
+    # Silence mass grows with p in both sim and model.
+    assert high_p.sim_census[0] > low_p.sim_census[0]
+    assert high_p.partial_census[0] > low_p.partial_census[0]
+
+
+def test_fig06_agreement_holds_under_red_and_sfq(benchmark):
+    """§3.1.2: "We also ran simulations under RED and SFQ AQM schemes,
+    and obtained similar agreement with the model."
+
+    Measured here (see EXPERIMENTS.md): RED agrees as tightly as
+    DropTail (L1 ~ 0.1).  SFQ agrees only loosely: its round-robin
+    service stretches each flow's ack-clock rounds across the service
+    rotation, which the round-census methodology reads as extra silence
+    — the trends hold (silence dominates, retransmit states populated)
+    but the L1 distance is larger.
+    """
+
+    def run_aqms():
+        results = {}
+        for queue_kind in ("red", "sfq"):
+            config = fig6.Config(
+                capacities_bps=(750_000.0,),
+                flow_counts=(150,),
+                duration=100.0,
+                queue_kind=queue_kind,
+            )
+            results[queue_kind] = fig6.run(config).points[0]
+        return results
+
+    results = run_once(benchmark, run_aqms)
+    red, sfq = results["red"], results["sfq"]
+    assert red.loss_rate > 0.05 and sfq.loss_rate > 0.05
+    # RED: tight agreement, like DropTail.
+    assert red.l1_distance("partial") < 0.4
+    # SFQ: qualitative agreement only (documented deviation).
+    assert sfq.l1_distance("partial") < 1.0
+    assert sfq.sim_census[0] > 0.3  # silence dominates, as the model says
+    assert sfq.sim_census[1] > 0.05  # retransmit states populated

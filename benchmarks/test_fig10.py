@@ -1,0 +1,40 @@
+"""FIG10 bench — short flows get predictable service under TAQ.
+
+Shape asserted (paper §5.3, Fig 10):
+
+- under TAQ, short-flow download time is roughly linear in flow length
+  (high Pearson correlation);
+- TAQ is more linear / predictable than DropTail;
+- every short flow completes under TAQ.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_short_flows as fig10
+
+
+def small_config():
+    return fig10.Config(
+        short_lengths=tuple(range(2, 81, 8)),
+        duration=180.0,
+    )
+
+
+def test_fig10_short_flow_shape(benchmark):
+    result = run_once(benchmark, fig10.run, small_config())
+
+    assert result.completion_fraction("taq") == 1.0
+    taq_r = result.linearity("taq")
+    dt_r = result.linearity("droptail")
+    # Roughly linear growth with flow length under TAQ.
+    assert taq_r > 0.9
+    # Clearly more predictable than the droptail scatter.
+    assert taq_r > dt_r + 0.1
+    # And with a better worst case.
+    taq_worst = max(t for _, t in result.completed("taq"))
+    dt_worst = max(t for _, t in result.completed("droptail"))
+    assert taq_worst < dt_worst
+    # Short flows are not starved: the longest (80 pkt) flow finishes in
+    # a reasonable multiple of its fair-share service time.
+    done = dict(result.completed("taq"))
+    longest = max(done)
+    assert done[longest] < 60.0

@@ -1,0 +1,34 @@
+"""FIG11 bench — TAQ on the emulated physical testbed.
+
+Shape asserted (paper §5.4, Fig 11):
+
+- the simulation result carries over to the noisy testbed: TAQ's
+  short-term JFI beats DropTail's at both 600 Kbps and 1000 Kbps;
+- TAQ sustains these rates with high utilization ("even on
+  realistically basic hardware TAQ is able to easily handle these flow
+  rates").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_testbed as fig11
+
+
+def small_config():
+    return fig11.Config(
+        capacities_bps=(600_000.0, 1_000_000.0),
+        fair_shares_bps=(10_000.0, 40_000.0),
+        duration=100.0,
+    )
+
+
+def test_fig11_testbed_shape(benchmark):
+    config = small_config()
+    result = run_once(benchmark, fig11.run, config)
+
+    for capacity in config.capacities_bps:
+        for fair_share in config.fair_shares_bps:
+            taq = result.jain("taq", capacity, fair_share)
+            dt = result.jain("droptail", capacity, fair_share)
+            assert taq > dt
+    for point in result.points:
+        assert point.utilization > 0.85

@@ -1,0 +1,42 @@
+"""FIG12 bench — admission control and web predictability.
+
+Shape asserted (paper §5.5, Fig 12):
+
+- TAQ with admission control cuts the worst-case download time in both
+  size bands (the waiting time of refused pools *included*);
+- the small-object median improves;
+- the spread (p90 - median, and worst case) shrinks — "the overall
+  variance in the download times [is] significantly reduced".
+
+The paper's 5x median factor for small objects does not fully
+materialize at this scale (see EXPERIMENTS.md); the win direction and
+the variance reduction do.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_admission_cdf as fig12
+
+
+def small_config():
+    # The experiment's default operating point (matches EXPERIMENTS.md).
+    return fig12.Config()
+
+
+def test_fig12_admission_shape(benchmark):
+    result = run_once(benchmark, fig12.run, small_config())
+
+    small_dt = result.bands[("droptail", "small")]
+    small_ac = result.bands[("taq+ac", "small")]
+    large_dt = result.bands[("droptail", "large")]
+    large_ac = result.bands[("taq+ac", "large")]
+
+    # Worst case improves in both bands.
+    assert max(small_ac.durations) < max(small_dt.durations)
+    assert max(large_ac.durations) < max(large_dt.durations)
+    # Medians improve in both bands (waiting time included).
+    assert small_ac.percentile(50) < small_dt.percentile(50)
+    assert large_ac.percentile(50) < large_dt.percentile(50)
+    # Tail spread shrinks for large objects.
+    assert large_ac.percentile(90) < large_dt.percentile(90)
+    # Admission control actually acted.
+    assert result.refusals["taq+ac"] > 0

@@ -1,0 +1,41 @@
+"""HANG bench — user-perceived hangs (§2.3 in-text result).
+
+Shape asserted:
+
+- under DropTail, heavier sharing produces longer worst-case hangs and
+  a larger fraction of users hanging past the threshold;
+- under TAQ, hangs mostly disappear (this reproduction's extension —
+  the mechanism TAQ was built for).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import hang_times as hang
+
+
+def small_config():
+    return hang.Config(
+        user_counts=(30, 80),
+        duration=240.0,
+        objects_per_user=25,
+    )
+
+
+def test_hang_shape(benchmark):
+    result = run_once(benchmark, hang.run, small_config())
+
+    dt_light = result.point("droptail", 30)
+    dt_heavy = result.point("droptail", 80)
+    taq_light = result.point("taq", 30)
+    taq_heavy = result.point("taq", 80)
+
+    # Heavier sharing worsens hangs under DropTail.
+    assert dt_heavy.fraction_over[5.0] >= dt_light.fraction_over[5.0]
+    # DropTail at heavy sharing: everyone sees >5s hangs, a sizable
+    # fraction sees >20s (the paper's 200-user run had 100% > 20s).
+    assert dt_heavy.fraction_over[5.0] > 0.8
+    assert dt_heavy.fraction_over[20.0] > 0.1
+    # TAQ slashes the >20s hang population at both loads.
+    assert taq_heavy.fraction_over[20.0] < dt_heavy.fraction_over[20.0] * 0.5
+    assert taq_light.fraction_over[20.0] < dt_light.fraction_over[20.0] * 0.5
+    # And the >5s population under light sharing.
+    assert taq_light.fraction_over[5.0] < dt_light.fraction_over[5.0] * 0.5

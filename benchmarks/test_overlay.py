@@ -1,0 +1,41 @@
+"""OVR bench — TAQ needs the controlled-loss virtual link (§4.4).
+
+Shape asserted:
+
+- uncontrolled downstream loss (raw mode) degrades TAQ: lower fairness
+  and a multiple of the repetitive timeouts, because the recovery-queue
+  protection is defeated after the queue;
+- the ARQ tunnel (overlay mode) restores the clean router-level
+  behaviour: fairness within noise of clean, repetitive timeouts back
+  down, residual downstream loss ~0;
+- the tunnel works for its living (retransmissions > 0) without
+  sacrificing utilization.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import overlay_deployment as ovr
+
+
+def small_config():
+    return ovr.Config()  # 120 flows, 15% underlay loss
+
+
+def test_overlay_deployment_shape(benchmark):
+    result = run_once(benchmark, ovr.run, small_config())
+    clean = result.modes["clean"]
+    raw = result.modes["raw"]
+    overlay = result.modes["overlay"]
+
+    # Raw mode: uncontrolled downstream loss degrades fairness, and the
+    # flows actually see that loss.
+    assert raw.short_term_jain < clean.short_term_jain - 0.02
+    assert raw.end_to_end_loss > 0.1
+    # Overlay mode: restored to (at least) the clean behaviour, with the
+    # downstream loss hidden from the flows.
+    assert overlay.short_term_jain > clean.short_term_jain - 0.02
+    assert overlay.short_term_jain > raw.short_term_jain
+    assert overlay.end_to_end_loss < 0.01
+    # The tunnel is actually doing the work, at full utilization.
+    assert overlay.tunnel_retransmissions > 0
+    assert overlay.utilization > 0.9
+    assert raw.utilization > 0.9

@@ -1,0 +1,39 @@
+"""PAD bench — the §6 model-comparison claim, measured.
+
+Shape asserted:
+
+- at small loss rates the Padhye formula is (at least) as good a
+  throughput predictor as the stationary model ("a much better fit when
+  the packet loss rates are relatively small");
+- at the high loss rates of the breakdown region the stationary model
+  is clearly better — Padhye's timeout term does not capture the
+  extended/repetitive timeout dynamics;
+- all predictors and the simulation agree that throughput decays
+  with p.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import padhye_comparison as pad
+
+
+def small_config():
+    return pad.Config(flow_counts=(20, 80, 140), duration=120.0)
+
+
+def test_padhye_comparison_shape(benchmark):
+    result = run_once(benchmark, pad.run, small_config())
+    points = sorted(result.points, key=lambda pt: pt.loss_rate)
+    low, high = points[0], points[-1]
+
+    assert low.loss_rate < 0.1 < high.loss_rate
+    # Small p: Padhye competitive (within a small margin of the model).
+    assert low.error("padhye") <= low.error("partial_model") + 0.1
+    # High p: the stationary model clearly wins.
+    assert high.error("partial_model") < high.error("padhye") - 0.1
+    # Padhye's error grows with p; the stationary model's does not blow up.
+    assert high.error("padhye") > low.error("padhye")
+    assert high.error("partial_model") < 0.4
+    # Everything agrees throughput decays with contention.
+    assert high.simulated_pkts_per_rtt < low.simulated_pkts_per_rtt
+    assert high.padhye_pkts_per_rtt < low.padhye_pkts_per_rtt
+    assert high.partial_model_pkts_per_rtt < low.partial_model_pkts_per_rtt

@@ -1,0 +1,35 @@
+"""POOL bench — §4.3's fair sharing across flow pools.
+
+Shape asserted:
+
+- under per-flow fairness (and droptail), a user opening 8 connections
+  gets several times the bandwidth of a user opening 2;
+- switching TAQ's fair-share granularity to pools shrinks that ratio
+  and raises user-level fairness;
+- flow-level fairness and utilization are not sacrificed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import pool_fairness as pool
+
+
+def small_config():
+    return pool.Config()  # 4+4 users, 8 vs 2 connections
+
+
+def test_pool_fairness_shape(benchmark):
+    result = run_once(benchmark, pool.run, small_config())
+    droptail = result.setups["droptail"]
+    per_flow = result.setups["taq-flow"]
+    per_pool = result.setups["taq-pool"]
+
+    # The incentive problem exists: many-connection users win big.
+    assert droptail.big_to_small_ratio > 2.5
+    assert per_flow.big_to_small_ratio > 2.5
+    # Pool granularity shrinks the gap and lifts user-level fairness.
+    assert per_pool.big_to_small_ratio < per_flow.big_to_small_ratio - 0.5
+    assert per_pool.user_jain > per_flow.user_jain + 0.03
+    # Without giving up flow fairness or the link.
+    assert per_pool.flow_jain > 0.85
+    for setup in result.setups.values():
+        assert setup.utilization > 0.9

@@ -1,0 +1,36 @@
+"""RTTF bench — the §4.2-footnote fairness models, measured.
+
+Shape asserted with a half-short-RTT / half-long-RTT population:
+
+- DropTail exhibits TCP's native RTT bias (short-RTT flows get a
+  multiple of the long-RTT flows' bandwidth);
+- TAQ's fair-queuing model compresses that bias and lifts overall
+  fairness well above DropTail;
+- the proportional model sits between the two: it deliberately
+  preserves more of the 1/RTT bias than fair queuing does.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import rtt_fairness as rtt
+
+
+def small_config():
+    return rtt.Config(n_flows_per_class=30, duration=120.0)
+
+
+def test_rtt_fairness_models_shape(benchmark):
+    result = run_once(benchmark, rtt.run, small_config())
+    droptail = result.setups["droptail"]
+    fair_queuing = result.setups["taq-fq"]
+    proportional = result.setups["taq-proportional"]
+
+    # The native bias exists and is largest under DropTail.
+    assert droptail.short_to_long_ratio > 1.5
+    assert droptail.short_to_long_ratio > fair_queuing.short_to_long_ratio
+    # Fair queuing compensates harder than the proportional model.
+    assert fair_queuing.short_to_long_ratio < proportional.short_to_long_ratio
+    # Both TAQ models beat DropTail on overall fairness.
+    assert fair_queuing.short_term_jain > droptail.short_term_jain + 0.1
+    assert proportional.short_term_jain > droptail.short_term_jain + 0.1
+    for setup in result.setups.values():
+        assert setup.utilization > 0.9

@@ -1,0 +1,43 @@
+"""SPR bench — the future-work end-host mechanism, honestly scored.
+
+Shape asserted:
+
+- universal SPR adoption recovers most of the fairness TAQ provides,
+  with near-zero shut-out flows, **at the cost of a higher bottleneck
+  loss rate** (bounded backoff keeps everyone knocking);
+- in a mixed population, SPR flows take a significantly larger share
+  than legacy NewReno flows — the congestion-control arms race that
+  motivates an in-network solution instead (the paper's position);
+- utilization is never sacrificed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import spr_endhost as spr
+
+
+def small_config():
+    return spr.Config(n_flows=120, duration=120.0)
+
+
+def test_spr_endhost_shape(benchmark):
+    result = run_once(benchmark, spr.run, small_config())
+    newreno = result.scenarios["all-newreno"]
+    all_spr = result.scenarios["all-spr"]
+    mixed = result.scenarios["mixed"]
+    taq = result.scenarios["taq-reference"]
+
+    # Universal adoption: a large fairness recovery...
+    assert all_spr.short_term_jain > newreno.short_term_jain + 0.15
+    assert all_spr.short_term_jain > taq.short_term_jain - 0.05
+    assert all_spr.shut_out_fraction < newreno.shut_out_fraction * 0.6
+    # ...paid for with extra loss (the honest trade-off).
+    assert all_spr.loss_rate > newreno.loss_rate + 0.03
+    # SPR mode actually engaged.
+    assert all_spr.spr_entries > 50
+    # Mixed deployment: SPR out-competes legacy flows (the arms race).
+    assert mixed.spr_advantage > 1.3
+    # Utilization intact everywhere, and the extra loss is not wasted
+    # capacity: deliveries stay overwhelmingly non-duplicate.
+    for scenario in result.scenarios.values():
+        assert scenario.utilization > 0.9
+        assert scenario.goodput_efficiency > 0.9

@@ -1,0 +1,37 @@
+"""TIP bench — the model's tipping point sits near p = 0.1 (§3.2, §4.3).
+
+Also times the stationary-distribution machinery itself (the only
+numeric kernel in the model path).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.model import (
+    build_partial_model,
+    find_tipping_point,
+    timeout_probability,
+)
+
+
+def test_tipping_point_near_ten_percent(benchmark):
+    p = run_once(benchmark, find_tipping_point, "partial")
+    assert p == pytest.approx(0.1, abs=0.02)
+
+
+def test_timeout_probability_curve_is_monotone(benchmark):
+    def curve():
+        return [timeout_probability(p) for p in (0.02, 0.06, 0.1, 0.15, 0.25, 0.4)]
+
+    values = run_once(benchmark, curve)
+    assert values == sorted(values)
+    # Sharp rise through the tipping region.
+    assert values[2] > 2.0 * values[0]
+
+
+def test_stationary_solver_speed(benchmark):
+    # A microbenchmark: the chain solve must stay trivially cheap, since
+    # sweeps call it hundreds of times.
+    chain = build_partial_model(0.17)
+    result = benchmark(chain.stationary)
+    assert abs(sum(result.values()) - 1.0) < 1e-9

@@ -1,0 +1,34 @@
+"""VAR bench — no end-host transport escapes the regime (§2.3).
+
+Shape asserted:
+
+- every (transport, classic queue) combination collapses well below
+  TAQ's fairness in the sub-packet regime;
+- RED and SFQ behave like DropTail (within a modest band) for each
+  transport;
+- utilization is high everywhere — the variants fail on *fairness*,
+  not on filling the pipe.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import variants as var
+
+
+def small_config():
+    return var.Config(n_flows=120, duration=100.0)
+
+
+def test_variants_matrix_shape(benchmark):
+    result = run_once(benchmark, var.run, small_config())
+
+    # TAQ beats the best of every transport-x-queue combination.
+    assert result.taq_reference > result.best_non_taq() + 0.05
+    # Every classic combination stays in the breakdown band.
+    for point in result.points:
+        assert point.short_term_jain < 0.72
+        assert point.utilization > 0.9
+    # RED/SFQ track DropTail for each transport (§2.4's claim).
+    for transport in ("newreno", "tahoe", "cubic"):
+        droptail = result.jain(transport, "droptail")
+        for queue_kind in ("red", "sfq"):
+            assert abs(result.jain(transport, queue_kind) - droptail) < 0.25

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Admission control under peak load (§4.3 / Fig 12 in miniature).
+
+Browser sessions arrive over time at a 1 Mbps bottleneck faster than it
+can serve them.  Without admission control every session's flows fight
+and everyone crawls; with it, TAQ refuses SYNs of new flow pools while
+the loss rate sits above the model's tipping point, paces the waiting
+queue at one pool per Twait, and lets admitted sessions finish quickly.
+The waiting time of refused pools is *included* in the reported
+download times.
+
+Run:  python examples/admission_control.py
+"""
+
+import itertools
+
+from repro.core import AdmissionController
+from repro.experiments.runner import build_dumbbell
+from repro.metrics.downloads import cdf_percentile
+from repro.workloads.web import WebUser
+
+CAPACITY = 1_000_000
+RTT = 0.2
+N_USERS = 45
+OBJECTS = 18
+OBJECT_BYTES = 35_000
+ARRIVAL_WINDOW = 110.0
+DURATION = 400.0
+
+
+def run(queue_kind: str):
+    extra = {}
+    if queue_kind == "taq+ac":
+        extra["admission"] = AdmissionController(p_thresh=0.1, t_wait=6.0)
+    bench = build_dumbbell(queue_kind, CAPACITY, rtt=RTT, seed=11, **extra)
+    rng = bench.sim.rng.stream("sessions")
+    flow_ids = itertools.count()
+    users = [
+        WebUser(
+            bench.bell,
+            user_id,
+            [OBJECT_BYTES] * OBJECTS,
+            flow_ids,
+            connections=4,
+            start_time=rng.uniform(0.0, ARRIVAL_WINDOW),
+            persistent_syn=True,  # keep knocking until admitted
+        )
+        for user_id in range(N_USERS)
+    ]
+    bench.sim.run(until=DURATION)
+    durations = [s.duration for u in users for s in u.samples]
+    refusals = getattr(bench.queue, "admission_refusals", 0)
+    return durations, refusals
+
+
+def main() -> None:
+    print(f"{N_USERS} sessions arriving over {ARRIVAL_WINDOW:.0f}s, "
+          f"{OBJECTS} x {OBJECT_BYTES//1000} KB objects each, "
+          f"{CAPACITY//1000} Kbps bottleneck\n")
+    print(f"{'queue':<10}{'objects':>8}{'median':>9}{'p90':>9}{'worst':>9}{'refused SYNs':>14}")
+    for kind in ("droptail", "taq", "taq+ac"):
+        durations, refusals = run(kind)
+        print(f"{kind:<10}{len(durations):>8}"
+              f"{cdf_percentile(durations, 50):>9.2f}"
+              f"{cdf_percentile(durations, 90):>9.2f}"
+              f"{max(durations):>9.2f}{refusals:>14}")
+    print("\nAdmission control trades a short, bounded wait at session start")
+    print("for predictable downloads once admitted (note the shrunken tail).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Plugging your own queue discipline into the simulator.
+
+The whole evaluation stack (dumbbell, TCP, metrics, workloads) works
+against the small :class:`repro.queues.base.QueueDiscipline` interface:
+``enqueue(packet, now) -> bool``, ``dequeue(now) -> Packet | None``,
+``__len__``.  This example implements **CHOKe** (CHOose and Keep /
+CHOose and Kill, Pan et al. 2000) — a stateless fairness scheme the
+paper does not evaluate — in ~30 lines, runs it against DropTail and
+TAQ in a small packet regime, and prints the comparison.
+
+Run:  python examples/custom_queue_discipline.py
+"""
+
+import random
+from collections import deque
+
+from repro.experiments.runner import build_dumbbell
+from repro.metrics import SliceGoodputCollector
+from repro.net.topology import Dumbbell, rtt_buffer_pkts
+from repro.queues.base import QueueDiscipline
+from repro.sim.simulator import Simulator
+from repro.workloads import spawn_bulk_flows
+
+CAPACITY = 600_000
+RTT = 0.2
+N_FLOWS = 100
+DURATION = 120.0
+
+
+class ChokeQueue(QueueDiscipline):
+    """CHOKe: compare each arrival against a random buffered packet;
+    if they belong to the same flow, drop both (heavy flows are the
+    most likely to collide with themselves)."""
+
+    def __init__(self, capacity_pkts: int, rng: random.Random) -> None:
+        super().__init__(capacity_pkts)
+        self.rng = rng
+        self._fifo = deque()
+
+    def enqueue(self, packet, now):
+        if self._fifo:
+            victim_index = self.rng.randrange(len(self._fifo))
+            victim = self._fifo[victim_index]
+            if victim.flow_id == packet.flow_id:
+                del self._fifo[victim_index]
+                self._record_drop(victim, now)
+                self._record_drop(packet, now)
+                return False
+        if len(self._fifo) >= self.capacity_pkts:
+            self._record_drop(packet, now)
+            return False
+        self._fifo.append(packet)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self, now):
+        return self._fifo.popleft() if self._fifo else None
+
+    def __len__(self):
+        return len(self._fifo)
+
+
+def run_choke() -> float:
+    sim = Simulator(seed=42)
+    queue = ChokeQueue(rtt_buffer_pkts(CAPACITY, RTT, 500), sim.rng.stream("choke"))
+    bell = Dumbbell(sim, CAPACITY, RTT, queue=queue)
+    collector = SliceGoodputCollector(20.0)
+    bell.forward.add_delivery_tap(collector.observe)
+    flows = spawn_bulk_flows(bell, N_FLOWS, start_window=5.0, extra_rtt_max=0.1)
+    sim.run(until=DURATION)
+    return collector.mean_short_term_jain([f.flow_id for f in flows])
+
+
+def run_builtin(kind: str) -> float:
+    bench = build_dumbbell(kind, CAPACITY, rtt=RTT, seed=42)
+    flows = spawn_bulk_flows(bench.bell, N_FLOWS, start_window=5.0, extra_rtt_max=0.1)
+    bench.sim.run(until=DURATION)
+    return bench.collector.mean_short_term_jain([f.flow_id for f in flows])
+
+
+def main() -> None:
+    print(f"{N_FLOWS} flows over {CAPACITY//1000} Kbps — short-term Jain fairness:\n")
+    print(f"  droptail : {run_builtin('droptail'):.3f}")
+    print(f"  CHOKe    : {run_choke():.3f}   (your custom discipline)")
+    print(f"  TAQ      : {run_builtin('taq'):.3f}")
+    print("\nCHOKe's stateless self-collision test helps little here: in a")
+    print("sub-packet regime no flow has enough buffered packets to collide")
+    print("with itself — the same reason SFQ degenerates (§2.4).  Fixing the")
+    print("regime needs timeout-awareness, which is TAQ's whole point.")
+
+
+if __name__ == "__main__":
+    main()

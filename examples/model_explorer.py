@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Explore the idealized Markov models of TCP in small packet regimes.
+
+Prints, for a sweep of loss probabilities:
+
+- the stationary census over "packets sent per epoch" (Fig 6's y-axis)
+  for the partial and full models;
+- the probability a flow sits in a timeout-related state;
+- the expected idle time once in a timeout period (eq. 8);
+- the tipping point the admission controller uses (§4.3).
+
+Run:  python examples/model_explorer.py
+"""
+
+from repro.model import (
+    build_full_model,
+    build_partial_model,
+    expected_idle_epochs,
+    find_tipping_point,
+    packets_sent_census,
+    timeout_probability,
+)
+
+LOSS_SWEEP = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4)
+
+
+def main() -> None:
+    print("Stationary census: P(flow transmits k packets in an epoch)\n")
+    header = "p      " + "".join(f"{k}-sent ".rjust(9) for k in range(7))
+    print("PARTIAL MODEL (Fig 4)")
+    print(header)
+    for p in LOSS_SWEEP:
+        census = packets_sent_census(build_partial_model(p))
+        row = "".join(f"{census[k]:>9.3f}" for k in range(7))
+        print(f"{p:<7.2f}{row}")
+
+    print("\nFULL MODEL (Fig 5, expanded backoff ladder)")
+    print(header)
+    for p in LOSS_SWEEP:
+        census = packets_sent_census(build_full_model(p))
+        row = "".join(f"{census[k]:>9.3f}" for k in range(7))
+        print(f"{p:<7.2f}{row}")
+
+    print("\nTimeout-state occupancy and expected idle time")
+    print(f"{'p':<7}{'P(timeout state)':>18}{'E[idle epochs]':>16}")
+    for p in LOSS_SWEEP:
+        print(f"{p:<7.2f}{timeout_probability(p):>18.3f}"
+              f"{expected_idle_epochs(p):>16.2f}")
+
+    tip = find_tipping_point("partial")
+    print(f"\nTipping point (30% of flows in timeout states): p ~ {tip:.3f}")
+    print("-> the paper reads ~0.1 off the model and uses it as TAQ's")
+    print("   admission-control threshold p_thresh (§4.3).")
+
+    print("\nExtending Wmax: census with a 10-packet window cap, p = 0.1")
+    census = packets_sent_census(build_partial_model(0.1, wmax=10))
+    for k in sorted(census):
+        bar = "#" * int(census[k] * 120)
+        print(f"{k:>2} sent  {census[k]:>6.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper (plus the extensions) in one go.
+
+Runs each experiment at its default laptop-scale configuration, prints
+the result tables, and writes one CSV per experiment into ``results/``
+so the series can be re-plotted with any tool.  Expect a few minutes of
+wall time.
+
+Run:  python examples/reproduce_all.py [output_dir]
+"""
+
+import importlib
+import os
+import sys
+import time
+
+EXPERIMENTS = [
+    ("fig01", "repro.experiments.fig01_download_times"),
+    ("fig02", "repro.experiments.fig02_fairness_droptail"),
+    ("fig03", "repro.experiments.fig03_buffer_tradeoff"),
+    ("hangs", "repro.experiments.hang_times"),
+    ("fig06", "repro.experiments.fig06_model_validation"),
+    ("fig08", "repro.experiments.fig08_fairness_taq"),
+    ("fig09", "repro.experiments.fig09_flow_evolution"),
+    ("fig10", "repro.experiments.fig10_short_flows"),
+    ("fig11", "repro.experiments.fig11_testbed"),
+    ("fig12", "repro.experiments.fig12_admission_cdf"),
+    ("variants", "repro.experiments.variants"),
+    ("overlay", "repro.experiments.overlay_deployment"),
+    ("padhye", "repro.experiments.padhye_comparison"),
+    ("pool", "repro.experiments.pool_fairness"),
+    ("rttf", "repro.experiments.rtt_fairness"),
+    ("spr", "repro.experiments.spr_endhost"),
+]
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    os.makedirs(output_dir, exist_ok=True)
+    grand_start = time.time()
+    written = []
+    for name, module_name in EXPERIMENTS:
+        module = importlib.import_module(module_name)
+        start = time.time()
+        result = module.run(module.Config())
+        elapsed = time.time() - start
+        print(f"\n{'#' * 70}\n# {name}  ({elapsed:.0f}s)\n{'#' * 70}")
+        print(result)
+        path = os.path.join(output_dir, f"{name}.csv")
+        result.table().write_csv(path)
+        written.append(path)
+
+    from repro.model import find_tipping_point
+
+    print(f"\n{'#' * 70}\n# tipping point\n{'#' * 70}")
+    print(f"partial model: p ~ {find_tipping_point('partial'):.3f} "
+          f"(paper: ~0.1, used as p_thresh)")
+
+    total = time.time() - grand_start
+    print(f"\nDone in {total:.0f}s.  CSVs written:")
+    for path in written:
+        print(f"  {path}")
+    print("\nCompare against EXPERIMENTS.md for the paper-vs-measured scorecard.")
+
+
+if __name__ == "__main__":
+    main()

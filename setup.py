@@ -1,0 +1,6 @@
+"""Setup shim so editable installs work without the `wheel` package
+(this environment is offline and cannot fetch build dependencies)."""
+
+from setuptools import setup
+
+setup()

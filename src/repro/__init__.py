@@ -1,0 +1,52 @@
+"""repro — a reproduction of "TAQ: Enhancing Fairness and Performance
+Predictability in Small Packet Regimes" (Chen, Subramanian, Iyengar,
+Ford — EuroSys 2014).
+
+The package provides:
+
+- a packet-level discrete-event network simulator (:mod:`repro.sim`,
+  :mod:`repro.net`) with a from-scratch TCP (:mod:`repro.tcp`),
+- the baseline queue disciplines DropTail / RED / SFQ
+  (:mod:`repro.queues`),
+- the paper's idealized Markov models of TCP in small packet regimes
+  (:mod:`repro.model`),
+- Timeout Aware Queuing — flow tracker, approximate state model,
+  multi-level priority scheduler and admission control
+  (:mod:`repro.core`),
+- workload generators, metrics, a testbed-emulation harness, and one
+  experiment module per figure in the paper's evaluation
+  (:mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.testbed`,
+  :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import Simulator, Dumbbell, TcpFlow
+>>> sim = Simulator(seed=7)
+>>> bell = Dumbbell(sim, capacity_bps=600_000, rtt=0.2)
+>>> flows = [TcpFlow(bell, i, size_segments=50, start_time=0.01 * i)
+...          for i in range(40)]
+>>> sim.run(until=60.0)
+"""
+
+from repro.net import Dumbbell, Host, Link, Packet
+from repro.queues import DropTailQueue, QueueDiscipline, REDQueue, SFQQueue
+from repro.sim import Simulator
+from repro.tcp import TcpFlow, TCPReceiver, TCPSender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dumbbell",
+    "Host",
+    "Link",
+    "Packet",
+    "DropTailQueue",
+    "QueueDiscipline",
+    "REDQueue",
+    "SFQQueue",
+    "Simulator",
+    "TcpFlow",
+    "TCPReceiver",
+    "TCPSender",
+    "__version__",
+]

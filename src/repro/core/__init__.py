@@ -1,0 +1,53 @@
+"""Timeout Aware Queuing (TAQ) — the paper's contribution.
+
+TAQ is an in-network middlebox realized as a queue discipline for the
+bottleneck link.  It combines:
+
+- :mod:`repro.core.epoch` — middlebox-side RTT ("epoch") estimation,
+  two-way when ACKs are visible, SYN-to-first-data + burst tracking
+  when only one direction is observable (§3.3);
+- :mod:`repro.core.tracker` + :mod:`repro.core.classifier` — per-flow
+  observation (new packets, highest sequence, retransmissions, drops)
+  and the approximate state model of Fig 7 (slow start / normal /
+  loss recovery / timeout silence / timeout recovery / extended
+  silence / dormant);
+- :mod:`repro.core.fairshare` — per-flow rate estimation against the
+  fair-queuing (or RTT-proportional) fair share;
+- :mod:`repro.core.scheduler` — the five queues (Recovery, NewFlow,
+  OverPenalized, BelowFairShare, AboveFairShare) arranged in the
+  3-level hierarchy of §4.2, with silence-length priority inside the
+  recovery queue and a capacity cap on recovery service;
+- :mod:`repro.core.admission` — flow-pool admission control triggered
+  when the drop rate crosses the model's tipping point
+  ``p_thresh = 0.1`` (§4.3);
+- :class:`repro.core.taq.TAQQueue` — the assembled queue discipline.
+"""
+
+from repro.core.admission import AdmissionController
+from repro.core.classifier import classify_epoch
+from repro.core.prediction import Action, Prediction, predict_next_state
+from repro.core.report import TaqReport, taq_report
+from repro.core.epoch import EpochEstimator
+from repro.core.fairshare import FairShareEstimator
+from repro.core.scheduler import PacketClass, TAQScheduler
+from repro.core.states import FlowState
+from repro.core.taq import TAQQueue
+from repro.core.tracker import FlowRecord, FlowTracker
+
+__all__ = [
+    "AdmissionController",
+    "classify_epoch",
+    "Action",
+    "Prediction",
+    "predict_next_state",
+    "TaqReport",
+    "taq_report",
+    "EpochEstimator",
+    "FairShareEstimator",
+    "PacketClass",
+    "TAQScheduler",
+    "FlowState",
+    "TAQQueue",
+    "FlowRecord",
+    "FlowTracker",
+]

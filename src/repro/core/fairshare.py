@@ -1,0 +1,100 @@
+"""Fair-share computation for the Below/Above split (§4.2, §4.3).
+
+TAQ supports:
+
+- the standard **fair-queuing** model (every active flow gets
+  ``capacity / n_active``) — what the paper evaluates;
+- the **proportional** model (shares proportional to ``1/RTT``, so
+  shorter-RTT flows — which TCP itself favours — keep proportionally
+  larger allocations; §4.2's footnote);
+- **pool granularity** (§4.3: "TAQ can implement fair sharing across
+  flow pools instead of across individual flows to maintain fairness
+  across applications"): capacity splits equally across active pools,
+  then equally among each pool's active flows, so a browser opening 8
+  connections gets no more than one opening 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.tracker import FlowRecord, FlowTracker
+
+
+class FairShareEstimator:
+    """Classifies flows as below or above their fair share.
+
+    Parameters
+    ----------
+    tracker:
+        The flow table (provides activity census and rate estimates).
+    capacity_bps:
+        Bottleneck capacity.  Usually injected by the owning TAQ queue
+        once it is attached to a link.
+    model:
+        ``"fair-queuing"`` (default) or ``"proportional"``.
+    granularity:
+        ``"flow"`` (default) or ``"pool"`` — the §4.3 per-application
+        fairness.  Flows without pool identity (pool -1) each count as
+        their own pool.
+    headroom:
+        A flow is "above" its share only beyond ``share * headroom``,
+        keeping flows hovering at their share from flapping between
+        queues.
+    """
+
+    def __init__(
+        self,
+        tracker: FlowTracker,
+        capacity_bps: float = 0.0,
+        model: str = "fair-queuing",
+        granularity: str = "flow",
+        headroom: float = 1.1,
+    ) -> None:
+        if model not in ("fair-queuing", "proportional"):
+            raise ValueError(f"unknown fairness model {model!r}")
+        if granularity not in ("flow", "pool"):
+            raise ValueError(f"unknown fairness granularity {granularity!r}")
+        self.tracker = tracker
+        self.capacity_bps = capacity_bps
+        self.model = model
+        self.granularity = granularity
+        self.headroom = headroom
+
+    # ------------------------------------------------------------------
+    def _active_pool_census(self, now: float) -> Dict[int, int]:
+        """Active flows per pool (unpooled flows keyed by -flow_id)."""
+        census: Dict[int, int] = {}
+        for record in self.tracker.flows.values():
+            if now - record.last_seen <= 10.0 * record.epoch_length:
+                key = record.pool_id if record.pool_id != -1 else -(record.flow_id + 2)
+                census[key] = census.get(key, 0) + 1
+        return census
+
+    def fair_share_bps(self, record: FlowRecord, now: float) -> float:
+        """This flow's fair share under the configured model."""
+        if self.granularity == "pool":
+            census = self._active_pool_census(now)
+            n_pools = max(1, len(census))
+            key = record.pool_id if record.pool_id != -1 else -(record.flow_id + 2)
+            flows_in_pool = max(1, census.get(key, 1))
+            return self.capacity_bps / n_pools / flows_in_pool
+        n = self.tracker.active_flows(now)
+        equal_share = self.capacity_bps / n
+        if self.model == "fair-queuing":
+            return equal_share
+        # Proportional: weight by 1/RTT, normalized across active flows.
+        inverse_rtt_sum = 0.0
+        for other in self.tracker.flows.values():
+            if now - other.last_seen <= 10.0 * other.epoch_length:
+                inverse_rtt_sum += 1.0 / max(1e-3, other.epoch_length)
+        if inverse_rtt_sum <= 0:
+            return equal_share
+        weight = (1.0 / max(1e-3, record.epoch_length)) / inverse_rtt_sum
+        return self.capacity_bps * weight
+
+    def is_above_share(self, record: FlowRecord, now: float) -> bool:
+        """True when the flow's estimated rate exceeds its share."""
+        if self.capacity_bps <= 0:
+            return False
+        return record.rate_bps > self.fair_share_bps(record, now) * self.headroom

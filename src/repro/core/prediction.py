@@ -1,0 +1,112 @@
+"""Predicting the effect of a drop on a flow's next state (§4.1).
+
+"The idea in TAQ is to use the number and nature of packet losses at
+the middlebox queue to predict the next state of a flow and determine
+if the middlebox packet drop action could trigger the flow to a timeout
+or a repetitive timeout."
+
+This module makes that prediction an explicit, queryable API: given a
+flow's record and a contemplated action (forward or drop a packet of a
+given kind), it returns the expected next state and whether the action
+risks a timeout / repetitive timeout.  The TAQ scheduler's protection
+ranks are one consumer; tests and operators (debugging a deployment)
+are another.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.classifier import EpochObservation, classify_epoch
+from repro.core.states import FlowState
+from repro.core.tracker import FlowRecord
+
+
+class Action(enum.Enum):
+    """What the middlebox is about to do with a flow's packet."""
+
+    FORWARD = "forward"
+    DROP_NEW = "drop_new"
+    DROP_RETRANSMISSION = "drop_retransmission"
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of :func:`predict_next_state`."""
+
+    next_state: FlowState
+    #: The action may push the flow into an RTO (silence).
+    risks_timeout: bool
+    #: The action may extend an existing backoff (repetitive timeout) —
+    #: the most expensive outcome the model identifies (§3.2).
+    risks_repetitive_timeout: bool
+
+    @property
+    def safe(self) -> bool:
+        return not (self.risks_timeout or self.risks_repetitive_timeout)
+
+
+def _window_estimate(record: FlowRecord) -> int:
+    """Approximate congestion window: packets seen in the fuller of the
+    current / previous epochs (§3.3 keeps this outside the state machine)."""
+    return max(record.new_packets, record.prev_new_packets, 1)
+
+
+def predict_next_state(record: FlowRecord, action: Action) -> Prediction:
+    """Expected consequence of *action* on *record*'s flow.
+
+    The prediction projects one epoch ahead through the Fig 7
+    classifier with the action's effect folded into the observation:
+
+    - forwarding keeps the flow on its current trajectory;
+    - dropping a new packet starts (or deepens) loss recovery; at small
+      windows (< 4 packets: no 3 dupACKs possible) it risks a timeout;
+    - dropping a retransmission always risks a timeout, and a
+      *repetitive* one whenever the flow is already in or past a
+      timeout (§4.1: "when a retransmitted packet is dropped, a flow
+      hits a timeout state").
+    """
+    window = _window_estimate(record)
+    if action is Action.FORWARD:
+        observation = EpochObservation(
+            new_packets=record.new_packets + 1,
+            retransmissions=record.retransmissions,
+            drops=record.drops,
+            prev_new_packets=record.prev_new_packets,
+            outstanding_drops=record.outstanding_drops,
+            silent_epochs=0,
+        )
+        next_state = classify_epoch(record.state, observation)
+        return Prediction(next_state, False, False)
+
+    if action is Action.DROP_NEW:
+        observation = EpochObservation(
+            new_packets=record.new_packets,
+            retransmissions=record.retransmissions,
+            drops=record.drops + 1,
+            prev_new_packets=record.prev_new_packets,
+            outstanding_drops=record.outstanding_drops + 1,
+            silent_epochs=0,
+        )
+        next_state = classify_epoch(record.state, observation)
+        # Small windows cannot fast-retransmit; multiple drops in the
+        # epoch defeat recovery even at larger windows.
+        risks_timeout = window < 4 or record.recent_drops() + 1 >= 2
+        risks_repetitive = risks_timeout and record.state in (
+            FlowState.TIMEOUT_RECOVERY,
+            FlowState.TIMEOUT_SILENCE,
+            FlowState.EXTENDED_SILENCE,
+        )
+        return Prediction(next_state, risks_timeout, risks_repetitive)
+
+    # DROP_RETRANSMISSION
+    already_backed_off = record.state in (
+        FlowState.TIMEOUT_RECOVERY,
+        FlowState.TIMEOUT_SILENCE,
+        FlowState.EXTENDED_SILENCE,
+    )
+    next_state = (
+        FlowState.EXTENDED_SILENCE if already_backed_off else FlowState.TIMEOUT_SILENCE
+    )
+    return Prediction(next_state, True, already_backed_off)

@@ -1,0 +1,45 @@
+"""The approximate per-flow state model a TAQ middlebox maintains (§3.3).
+
+These are the observable abstractions of the idealized Markov model's
+states: window states collapse into SLOW_START/NORMAL (the window size
+itself is tracked separately as the per-epoch packet count), the
+pre-timeout recovery states map to LOSS_RECOVERY, and the timeout
+ladder maps to TIMEOUT_SILENCE / TIMEOUT_RECOVERY / EXTENDED_SILENCE.
+DORMANT is the paper's "dummy silence" state for flows that simply have
+nothing to send (e.g. idle persistent HTTP connections).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FlowState(enum.Enum):
+    """Middlebox-visible flow states (Fig 7)."""
+
+    #: Window growing exponentially: per-epoch new-packet count rising fast.
+    SLOW_START = "slow_start"
+    #: No losses at the TAQ queue; per-epoch packet count flat or slowly growing.
+    NORMAL = "normal"
+    #: The middlebox dropped one of the flow's packets; retransmissions expected.
+    LOSS_RECOVERY = "loss_recovery"
+    #: Flow silent after losses: the RTO is (presumably) pending.
+    TIMEOUT_SILENCE = "timeout_silence"
+    #: Retransmissions arriving after a silence: the flow is climbing out.
+    TIMEOUT_RECOVERY = "timeout_recovery"
+    #: Silence spanning multiple epochs: repetitive (backed-off) timeouts.
+    EXTENDED_SILENCE = "extended_silence"
+    #: Application-limited silence with no loss history (dummy silence state).
+    DORMANT = "dormant"
+
+
+#: States in which a flow is observably silent.
+SILENT_STATES = frozenset(
+    {FlowState.TIMEOUT_SILENCE, FlowState.EXTENDED_SILENCE, FlowState.DORMANT}
+)
+
+#: States indicating the flow is struggling with loss or timeouts, whose
+#: packets TAQ must protect to prevent (further) timeouts.
+RECOVERY_STATES = frozenset(
+    {FlowState.LOSS_RECOVERY, FlowState.TIMEOUT_RECOVERY, FlowState.EXTENDED_SILENCE}
+)

@@ -1,0 +1,240 @@
+"""Per-flow tracking at the middlebox (§3.3, §4.1).
+
+The tracker maintains, for every flow crossing the TAQ box, the four
+parameters the paper lists — (a) new packets this epoch, (b) highest
+sequence number, (c) retransmitted packets, (d) losses in the previous
+epoch — plus the derived quantities queue management needs: the
+approximate state, the recovery deficit (drops not yet compensated by
+observed retransmissions), the length of the current silence, and a
+rate estimate for the fair-share split.
+
+Epoch rollover is lazy: whenever a flow is observed (or queried), the
+tracker advances its epoch window to ``now``, classifying each elapsed
+epoch — including fully silent ones — through
+:func:`repro.core.classifier.classify_epoch`.
+
+Retransmissions are *inferred*, not trusted from the packet: a data
+packet whose sequence number does not exceed the highest sequence seen
+is a retransmission to a middlebox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.classifier import EpochObservation, classify_epoch
+from repro.core.epoch import EpochEstimator
+from repro.core.states import FlowState
+from repro.net.packet import DATA, SYN, Packet
+
+
+class FlowRecord:
+    """Everything TAQ knows about one flow."""
+
+    __slots__ = (
+        "flow_id",
+        "pool_id",
+        "first_seen",
+        "last_seen",
+        "last_data_time",
+        "highest_seq",
+        "state",
+        "epochs",
+        "epoch_start",
+        "new_packets",
+        "retransmissions",
+        "drops",
+        "bytes_forwarded",
+        "prev_new_packets",
+        "prev_drops",
+        "prev_bytes",
+        "outstanding_drops",
+        "silent_epochs",
+        "cumulative_drops",
+        "rate_bps",
+        "estimator",
+    )
+
+    def __init__(self, flow_id: int, pool_id: int, now: float, estimator: EpochEstimator) -> None:
+        self.flow_id = flow_id
+        self.pool_id = pool_id
+        self.first_seen = now
+        self.last_seen = now
+        self.last_data_time: Optional[float] = None
+        self.highest_seq = -1
+        self.state = FlowState.SLOW_START
+        self.epochs = 0
+        self.epoch_start = now
+        # Current-epoch counters.
+        self.new_packets = 0
+        self.retransmissions = 0
+        self.drops = 0
+        self.bytes_forwarded = 0
+        # Previous-epoch counters.
+        self.prev_new_packets = 0
+        self.prev_drops = 0
+        self.prev_bytes = 0
+        # Derived.
+        self.outstanding_drops = 0
+        self.silent_epochs = 0
+        self.cumulative_drops = 0
+        self.rate_bps = 0.0
+        self.estimator = estimator
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch_length(self) -> float:
+        return self.estimator.estimate
+
+    def silence_seconds(self, now: float) -> float:
+        """Seconds since this flow last put a data packet through."""
+        reference = self.last_data_time if self.last_data_time is not None else self.first_seen
+        return max(0.0, now - reference)
+
+    def recent_drops(self) -> int:
+        """Drops over the current and previous epochs (the §4.2 Level-3
+        'more than 2 packet drops in an epoch' trigger uses this)."""
+        return self.drops + self.prev_drops
+
+    # ------------------------------------------------------------------
+    def roll_epochs(self, now: float) -> None:
+        """Advance the epoch window to *now*, classifying each one."""
+        epoch_len = self.epoch_length
+        guard = 0
+        while now - self.epoch_start >= epoch_len and guard < 256:
+            guard += 1
+            was_active = (self.new_packets + self.retransmissions) > 0
+            self.silent_epochs = 0 if was_active else self.silent_epochs + 1
+            observation = EpochObservation(
+                new_packets=self.new_packets,
+                retransmissions=self.retransmissions,
+                drops=self.drops,
+                prev_new_packets=self.prev_new_packets,
+                outstanding_drops=self.outstanding_drops,
+                silent_epochs=self.silent_epochs,
+            )
+            self.state = classify_epoch(self.state, observation)
+            # Rate over the closing epoch (EWMA over epochs).
+            epoch_rate = self.bytes_forwarded * 8.0 / epoch_len
+            self.rate_bps += 0.5 * (epoch_rate - self.rate_bps)
+            # Shift.
+            self.prev_new_packets = self.new_packets
+            self.prev_drops = self.drops
+            self.prev_bytes = self.bytes_forwarded
+            self.new_packets = 0
+            self.retransmissions = 0
+            self.drops = 0
+            self.bytes_forwarded = 0
+            self.epoch_start += epoch_len
+            self.epochs += 1
+            epoch_len = self.epoch_length
+        if guard == 256:
+            # Extremely long idle gap: jump rather than loop.
+            self.epoch_start = now
+
+
+class FlowTracker:
+    """The per-flow table of a TAQ middlebox."""
+
+    def __init__(
+        self,
+        default_epoch: float = 0.2,
+        idle_timeout: float = 60.0,
+    ) -> None:
+        self.default_epoch = default_epoch
+        self.idle_timeout = idle_timeout
+        self.flows: Dict[int, FlowRecord] = {}
+        self._last_gc = 0.0
+
+    # ------------------------------------------------------------------
+    def lookup(self, flow_id: int) -> Optional[FlowRecord]:
+        return self.flows.get(flow_id)
+
+    def record_for(self, packet: Packet, now: float) -> FlowRecord:
+        record = self.flows.get(packet.flow_id)
+        if record is None:
+            record = FlowRecord(
+                packet.flow_id,
+                packet.pool_id,
+                now,
+                EpochEstimator(default_epoch=self.default_epoch),
+            )
+            self.flows[packet.flow_id] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Observations (called by the TAQ queue)
+    # ------------------------------------------------------------------
+    def observe_arrival(self, packet: Packet, now: float) -> bool:
+        """Record a packet arriving at the queue.  Returns True when the
+        middlebox classifies it as a retransmission."""
+        record = self.record_for(packet, now)
+        record.roll_epochs(now)
+        record.last_seen = now
+        if packet.kind == SYN:
+            record.estimator.observe_syn(now)
+            return False
+        if packet.kind != DATA:
+            return False
+        is_retransmission = packet.seq <= record.highest_seq
+        record.highest_seq = max(record.highest_seq, packet.seq)
+        record.estimator.observe_data(packet.seq, now)
+        record.last_data_time = now
+        if is_retransmission:
+            record.retransmissions += 1
+            if record.outstanding_drops > 0:
+                record.outstanding_drops -= 1
+        else:
+            record.new_packets += 1
+        record.bytes_forwarded += packet.size
+        self._maybe_gc(now)
+        return is_retransmission
+
+    def observe_drop(self, packet: Packet, now: float) -> None:
+        """Record that the queue dropped one of the flow's packets."""
+        record = self.record_for(packet, now)
+        record.drops += 1
+        record.cumulative_drops += 1
+        record.outstanding_drops += 1
+        # A dropped packet did not go through: take it back out of the
+        # forwarded byte count used for the rate estimate.
+        record.bytes_forwarded = max(0, record.bytes_forwarded - packet.size)
+        if packet.kind == DATA and packet.seq <= record.highest_seq:
+            # We counted it as an observed retransmission on arrival; it
+            # will need another try.
+            record.outstanding_drops = max(record.outstanding_drops, 1)
+
+    def observe_ack(self, packet: Packet, now: float) -> None:
+        """Feed a reverse-path ACK into the flow's epoch estimator."""
+        record = self.flows.get(packet.flow_id)
+        if record is not None:
+            record.estimator.observe_ack(packet.ack_seq, now)
+
+    # ------------------------------------------------------------------
+    def state_of(self, flow_id: int, now: float) -> FlowState:
+        """Current approximate state (rolling epochs forward first)."""
+        record = self.flows.get(flow_id)
+        if record is None:
+            return FlowState.SLOW_START
+        record.roll_epochs(now)
+        return record.state
+
+    def active_flows(self, now: float, horizon_epochs: float = 10.0) -> int:
+        """Flows seen within ``horizon_epochs`` of their own epoch length."""
+        count = 0
+        for record in self.flows.values():
+            if now - record.last_seen <= horizon_epochs * record.epoch_length:
+                count += 1
+        return max(1, count)
+
+    def _maybe_gc(self, now: float) -> None:
+        if now - self._last_gc < self.idle_timeout:
+            return
+        self._last_gc = now
+        stale = [
+            flow_id
+            for flow_id, record in self.flows.items()
+            if now - record.last_seen > self.idle_timeout
+        ]
+        for flow_id in stale:
+            del self.flows[flow_id]

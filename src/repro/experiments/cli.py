@@ -1,0 +1,127 @@
+"""``taq-experiments`` — run any figure's experiment from the shell.
+
+Examples::
+
+    taq-experiments list
+    taq-experiments fig02
+    taq-experiments fig12 --paper
+    taq-experiments tipping-point
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+EXPERIMENTS = {
+    "fig01": ("repro.experiments.fig01_download_times", "Fig 1: download-time scatter"),
+    "fig02": ("repro.experiments.fig02_fairness_droptail", "Fig 2: DropTail fairness sweep"),
+    "fig03": ("repro.experiments.fig03_buffer_tradeoff", "Fig 3: buffer-for-fairness tradeoff"),
+    "hangs": ("repro.experiments.hang_times", "§2.3: user-perceived hangs"),
+    "fig06": ("repro.experiments.fig06_model_validation", "Fig 6: model validation"),
+    "fig08": ("repro.experiments.fig08_fairness_taq", "Fig 8: TAQ fairness sweep"),
+    "fig09": ("repro.experiments.fig09_flow_evolution", "Fig 9: flow evolution"),
+    "fig10": ("repro.experiments.fig10_short_flows", "Fig 10: short flows"),
+    "fig11": ("repro.experiments.fig11_testbed", "Fig 11: testbed fairness"),
+    "fig12": ("repro.experiments.fig12_admission_cdf", "Fig 12: admission-control CDFs"),
+    "variants": ("repro.experiments.variants", "§2.3: transports x queues matrix"),
+    "padhye": ("repro.experiments.padhye_comparison", "§6: stationary model vs Padhye throughput"),
+    "overlay": ("repro.experiments.overlay_deployment", "§4.4: TAQ over an OverQoS-style overlay"),
+    "spr": ("repro.experiments.spr_endhost", "future work: SPR-TCP end-host mechanism"),
+    "pool": ("repro.experiments.pool_fairness", "§4.3: per-flow vs per-pool fairness"),
+    "rttf": ("repro.experiments.rtt_fairness", "§4.2 footnote: fairness models vs heterogeneous RTTs"),
+}
+
+
+def _run_tipping_point() -> int:
+    from repro.model import find_tipping_point
+
+    for variant in ("partial", "full"):
+        p = find_tipping_point(variant)
+        print(f"{variant} model tipping point: p ~ {p:.3f}")
+    print("paper: ~0.1 (used as TAQ's admission threshold p_thresh)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="taq-experiments",
+        description="Reproduce the TAQ paper's figures (prints result tables).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'tipping-point', 'scenario', or 'list'",
+    )
+    parser.add_argument(
+        "scenario_file",
+        nargs="?",
+        default=None,
+        help="JSON scenario document (only with the 'scenario' command)",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use parameters close to the published setup (much slower)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the result table as CSV to PATH",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII chart (where the experiment supports it)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (_, description) in EXPERIMENTS.items():
+            print(f"{key:7s} {description}")
+        print("tipping-point  model tipping point (~0.1)")
+        return 0
+    if args.experiment == "tipping-point":
+        return _run_tipping_point()
+    if args.experiment == "scenario":
+        if not args.scenario_file:
+            print("usage: taq-experiments scenario <file.json>", file=sys.stderr)
+            return 2
+        from repro.experiments.scenario import ScenarioError, run_scenario_file
+
+        try:
+            outcome = run_scenario_file(args.scenario_file)
+        except (ScenarioError, OSError) as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
+        print(outcome)
+        if args.csv:
+            outcome.table().write_csv(args.csv)
+            print(f"(csv written to {args.csv})")
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+
+    module_name, _ = EXPERIMENTS[args.experiment]
+    module = importlib.import_module(module_name)
+    config = module.Config.paper() if args.paper else module.Config()
+    if args.seed is not None:
+        config.seed = args.seed
+    result = module.run(config)
+    print(result)
+    if args.csv:
+        result.table().write_csv(args.csv)
+        print(f"(csv written to {args.csv})")
+    if args.chart:
+        chart = getattr(result, "chart", None)
+        if chart is None:
+            print("(this experiment has no chart rendering)")
+        else:
+            print()
+            print(chart())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""FIG2 — long- and short-term Jain fairness under DropTail.
+
+Paper setup (§2.3): dumbbell, tail-drop queue of one RTT, 500-byte
+packets, one-way traffic, no delayed ACKs; bottlenecks of 200-1000 Kbps;
+JFI of per-flow goodput over 20-second slices (short-term) and over the
+whole run (long-term; the paper uses 10000 s — we use the full scaled
+run).  Expected shape: long-term JFI stays high while short-term JFI
+collapses once the fair share drops below ~30 Kbps (~3 packets/RTT at a
+400 ms loaded RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.experiments.runner import TableResult
+from repro.experiments.sweeps import SweepPoint, run_sweep
+
+
+@dataclass
+class Config:
+    """Sweep parameters (scaled down by default)."""
+
+    capacities_bps: Sequence[float] = (200_000.0, 600_000.0, 1_000_000.0)
+    fair_shares_bps: Sequence[float] = (2_500.0, 5_000.0, 10_000.0, 20_000.0, 40_000.0)
+    duration: float = 120.0
+    rtt: float = 0.2
+    slice_seconds: float = 20.0
+    seed: int = 1
+    queue_kind: str = "droptail"
+
+    @classmethod
+    def paper(cls) -> "Config":
+        """Approximate the published sweep (slow: minutes of wall time)."""
+        return cls(
+            capacities_bps=(200e3, 400e3, 600e3, 800e3, 1000e3),
+            fair_shares_bps=(2_500.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0),
+            duration=400.0,
+        )
+
+
+@dataclass
+class Result:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def table(self) -> TableResult:
+        table = TableResult(
+            title="Fig 2: Jain fairness vs per-flow fair share (DropTail)",
+            headers=(
+                "capacity_kbps",
+                "flows",
+                "fair_share_bps",
+                "pkts_per_rtt",
+                "short_jfi",
+                "long_jfi",
+                "util",
+                "shut_out",
+            ),
+        )
+        for p in self.points:
+            table.add(
+                p.capacity_bps / 1000,
+                p.n_flows,
+                p.fair_share_bps,
+                p.packets_per_rtt,
+                p.short_term_jain,
+                p.long_term_jain,
+                p.utilization,
+                p.shut_out_fraction,
+            )
+        table.notes.append(
+            "paper: short-term JFI collapses below ~3 pkts/RTT; long-term stays high"
+        )
+        return table
+
+    def chart(self) -> str:
+        """ASCII rendering of the figure: JFI vs fair share per capacity."""
+        from repro.metrics.asciichart import line_chart
+
+        series = {}
+        for p in self.points:
+            key = f"{p.capacity_bps/1000:.0f}Kbps"
+            series.setdefault(key, []).append((p.fair_share_bps, p.short_term_jain))
+        for values in series.values():
+            values.sort()
+        return line_chart(series, x_label="fair share (bps)", y_label="short-term JFI")
+
+    def __str__(self) -> str:
+        return str(self.table())
+
+
+def run(config: Config = Config()) -> Result:
+    points = run_sweep(
+        config.queue_kind,
+        config.capacities_bps,
+        config.fair_shares_bps,
+        duration=config.duration,
+        rtt=config.rtt,
+        slice_seconds=config.slice_seconds,
+        seed=config.seed,
+    )
+    return Result(points=points)

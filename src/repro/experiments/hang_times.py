@@ -1,0 +1,127 @@
+"""HANG — user-perceived hangs in pathologically shared links (§2.3).
+
+In-text result: web users spawning pools of TCP connections over a
+1 Mbps / 200 ms bottleneck (droptail, one-RTT buffer).  With 4
+connections per user and 200 users, every user perceives at least one
+hang over 20 s; with 400 users, ~half perceive a hang over a minute.
+Fewer connections per user *worsen* the experience (all of a user's
+connections stall at once more easily).
+
+The default config scales the population down; the TAQ column is this
+reproduction's extension showing the middlebox removes most hangs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import TableResult, build_dumbbell
+from repro.metrics.hangs import longest_hang
+from repro.workloads import spawn_web_users
+
+
+@dataclass
+class Config:
+    capacity_bps: float = 1_000_000.0
+    rtt: float = 0.2
+    user_counts: Sequence[int] = (50, 100)
+    connections: int = 4
+    objects_per_user: int = 40
+    object_bytes: int = 20_000
+    duration: float = 150.0
+    warmup: float = 10.0
+    hang_thresholds: Sequence[float] = (5.0, 20.0, 60.0)
+    seed: int = 1
+    queue_kinds: Sequence[str] = ("droptail", "taq")
+
+    @classmethod
+    def paper(cls) -> "Config":
+        return cls(user_counts=(200, 400), duration=600.0, objects_per_user=200)
+
+
+@dataclass
+class HangPoint:
+    queue_kind: str
+    n_users: int
+    fraction_over: Dict[float, float]
+    worst_hang: float
+    median_hang: float
+
+
+@dataclass
+class Result:
+    points: List[HangPoint] = field(default_factory=list)
+
+    def point(self, queue_kind: str, n_users: int) -> HangPoint:
+        for p in self.points:
+            if p.queue_kind == queue_kind and p.n_users == n_users:
+                return p
+        raise KeyError((queue_kind, n_users))
+
+    def table(self) -> TableResult:
+        thresholds = sorted(self.points[0].fraction_over) if self.points else []
+        table = TableResult(
+            title="§2.3: user-perceived hangs (fraction of users over threshold)",
+            headers=("queue", "users", *(f">{t:g}s" for t in thresholds), "worst_s"),
+        )
+        for p in self.points:
+            table.add(
+                p.queue_kind,
+                p.n_users,
+                *(p.fraction_over[t] for t in thresholds),
+                p.worst_hang,
+            )
+        table.notes.append(
+            "paper (droptail): 200 users -> all hang > 20s; 400 users -> ~50% hang > 60s"
+        )
+        return table
+
+    def __str__(self) -> str:
+        return str(self.table())
+
+
+def run(config: Config = Config()) -> Result:
+    result = Result()
+    for queue_kind in config.queue_kinds:
+        for n_users in config.user_counts:
+            bench = build_dumbbell(
+                queue_kind, config.capacity_bps, rtt=config.rtt, seed=config.seed
+            )
+            users = spawn_web_users(
+                bench.bell,
+                n_users,
+                objects_per_user=config.objects_per_user,
+                size_bytes=config.object_bytes,
+                connections=config.connections,
+                start_window=config.warmup,
+            )
+            bench.sim.run(until=config.duration)
+            # A user's session runs from its own start until it finished
+            # its objects (or the end of the run) — idle time after the
+            # last object completes is not a hang.
+            worst = []
+            for user in users:
+                times = user.delivery_times()
+                session_start = user.start_time
+                if user.done and times:
+                    session_end = times[-1]
+                else:
+                    session_end = config.duration
+                if session_end <= session_start:
+                    continue
+                worst.append(longest_hang(times, session_start, session_end))
+            worst_sorted = sorted(worst)
+            result.points.append(
+                HangPoint(
+                    queue_kind=queue_kind,
+                    n_users=n_users,
+                    fraction_over={
+                        t: sum(1 for w in worst if w > t) / len(worst)
+                        for t in config.hang_thresholds
+                    },
+                    worst_hang=max(worst),
+                    median_hang=worst_sorted[len(worst_sorted) // 2],
+                )
+            )
+    return result

@@ -1,0 +1,144 @@
+"""POOL — fair sharing across flow pools (§4.3).
+
+"TAQ can implement fair sharing across flow pools instead of across
+individual flows to maintain fairness across applications."  The
+failure mode it addresses: per-flow fairness rewards whoever opens more
+connections — a browser with 8 parallel connections gets 4x the
+user-level bandwidth of one with 2 (the web's classic incentive
+problem).
+
+This experiment runs a heterogeneous population — half the users open
+``big_pool`` connections, half ``small_pool`` — under three bottleneck
+configurations and reports *user-level* fairness (Jain index over
+per-user goodput) and the big:small user bandwidth ratio:
+
+- DropTail (the baseline incentive problem),
+- TAQ with per-flow fairness (still rewards connection count),
+- TAQ with per-pool fairness (equalizes users).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import TableResult, build_dumbbell
+from repro.metrics.fairness import jain_index
+from repro.tcp.flow import TcpFlow
+
+
+@dataclass
+class Config:
+    capacity_bps: float = 600_000.0
+    n_users_per_class: int = 4
+    big_pool: int = 8
+    small_pool: int = 2
+    duration: float = 120.0
+    rtt: float = 0.2
+    slice_seconds: float = 20.0
+    seed: int = 1
+    setups: Sequence[str] = ("droptail", "taq-flow", "taq-pool")
+
+    @classmethod
+    def paper(cls) -> "Config":
+        return cls(duration=400.0, n_users_per_class=16)
+
+
+@dataclass
+class SetupResult:
+    setup: str
+    user_jain: float
+    flow_jain: float
+    big_to_small_ratio: float
+    utilization: float
+
+
+@dataclass
+class Result:
+    setups: Dict[str, SetupResult] = field(default_factory=dict)
+
+    def table(self) -> TableResult:
+        table = TableResult(
+            title="§4.3: per-flow vs per-pool fairness with heterogeneous users",
+            headers=("setup", "user_jfi", "flow_jfi", "big:small_user_bw", "util"),
+        )
+        for name in ("droptail", "taq-flow", "taq-pool"):
+            if name not in self.setups:
+                continue
+            r = self.setups[name]
+            table.add(r.setup, r.user_jain, r.flow_jain, r.big_to_small_ratio,
+                      r.utilization)
+        table.notes.append(
+            "paper: pool-granularity fair share maintains fairness across "
+            "applications regardless of connection count"
+        )
+        return table
+
+    def __str__(self) -> str:
+        return str(self.table())
+
+
+def _run_setup(name: str, config: Config) -> SetupResult:
+    kind = "droptail" if name == "droptail" else "taq"
+    extra = {}
+    if name == "taq-pool":
+        extra["fairness_granularity"] = "pool"
+    bench = build_dumbbell(
+        kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        slice_seconds=config.slice_seconds,
+        **extra,
+    )
+    rng = bench.sim.rng.stream("pool-fairness")
+    flow_ids = itertools.count(0)
+    users: List[List[TcpFlow]] = []
+    user_sizes = [config.big_pool] * config.n_users_per_class + [
+        config.small_pool
+    ] * config.n_users_per_class
+    for user_id, n_conns in enumerate(user_sizes):
+        flows = [
+            TcpFlow(
+                bench.bell,
+                next(flow_ids),
+                size_segments=None,
+                start_time=rng.uniform(0.0, 5.0),
+                extra_rtt=rng.uniform(0.0, 0.1),
+                pool_id=user_id,
+            )
+            for _ in range(n_conns)
+        ]
+        users.append(flows)
+    bench.sim.run(until=config.duration)
+
+    indices = bench.collector.slice_indices()[1:-1]
+    per_user_bytes = []
+    for flows in users:
+        ids = [f.flow_id for f in flows]
+        total = 0.0
+        for index in indices:
+            total += sum(bench.collector.slice_goodputs(index, ids))
+        per_user_bytes.append(total)
+    all_ids = [f.flow_id for flows in users for f in flows]
+    big = per_user_bytes[: config.n_users_per_class]
+    small = per_user_bytes[config.n_users_per_class:]
+    mean_big = sum(big) / len(big)
+    mean_small = sum(small) / len(small)
+    return SetupResult(
+        setup=name,
+        user_jain=jain_index(per_user_bytes),
+        flow_jain=bench.collector.mean_short_term_jain(all_ids),
+        big_to_small_ratio=mean_big / mean_small if mean_small > 0 else float("inf"),
+        utilization=bench.bell.forward.stats.utilization(
+            config.capacity_bps, config.duration
+        ),
+    )
+
+
+def run(config: Config = Config()) -> Result:
+    result = Result()
+    for name in config.setups:
+        result.setups[name] = _run_setup(name, config)
+    return result

@@ -1,0 +1,147 @@
+"""Shared plumbing for the experiment modules.
+
+- :func:`make_queue` — build any of the five queue disciplines from a
+  short name ("droptail", "red", "sfq", "taq", "taq+ac");
+- :func:`build_dumbbell` — simulator + dumbbell + queue + goodput
+  collector in one call, with TAQ's reverse tap wired automatically;
+- :class:`TableResult` — a printable rows-and-headers result every
+  experiment returns (the "same rows/series the paper reports").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import AdmissionController, TAQQueue
+from repro.metrics import SliceGoodputCollector
+from repro.net.topology import Dumbbell, rtt_buffer_pkts
+from repro.queues import DropTailQueue, QueueDiscipline, REDQueue, SFQQueue
+from repro.sim.simulator import Simulator
+
+QUEUE_KINDS = ("droptail", "red", "sfq", "taq", "taq+ac")
+
+
+def make_queue(
+    kind: str,
+    sim: Simulator,
+    capacity_bps: float,
+    rtt: float,
+    pkt_size: int = 500,
+    buffer_rtts: float = 1.0,
+    **taq_kwargs,
+) -> QueueDiscipline:
+    """Build a queue discipline by short name.
+
+    ``taq_kwargs`` are forwarded to :class:`TAQQueue` for the TAQ kinds
+    (e.g. ``classify_fair_share=False`` for ablations).
+    """
+    buffer_pkts = rtt_buffer_pkts(capacity_bps, rtt, pkt_size, buffer_rtts)
+    if kind == "droptail":
+        return DropTailQueue(buffer_pkts)
+    if kind == "red":
+        return REDQueue(buffer_pkts, sim.rng.stream("red"), mean_pkt_size=pkt_size)
+    if kind == "sfq":
+        return SFQQueue(buffer_pkts, buckets=max(16, buffer_pkts), perturb_interval=10.0)
+    if kind == "taq":
+        taq_kwargs.setdefault("default_epoch", rtt)
+        return TAQQueue(buffer_pkts, **taq_kwargs)
+    if kind == "taq+ac":
+        taq_kwargs.setdefault("default_epoch", rtt)
+        taq_kwargs.setdefault("admission", AdmissionController())
+        return TAQQueue(buffer_pkts, **taq_kwargs)
+    raise ValueError(f"unknown queue kind {kind!r}; choose from {QUEUE_KINDS}")
+
+
+@dataclass
+class Bench:
+    """A ready-to-run scenario: simulator, dumbbell, collector."""
+
+    sim: Simulator
+    bell: Dumbbell
+    queue: QueueDiscipline
+    collector: SliceGoodputCollector
+
+
+def build_dumbbell(
+    kind: str,
+    capacity_bps: float,
+    rtt: float = 0.2,
+    pkt_size: int = 500,
+    seed: int = 1,
+    slice_seconds: float = 20.0,
+    buffer_rtts: float = 1.0,
+    reverse_tap: bool = True,
+    **taq_kwargs,
+) -> Bench:
+    """Simulator + dumbbell + queue + slice collector, fully wired.
+
+    ``reverse_tap=False`` leaves TAQ in one-way mode (§3.3): epochs are
+    estimated from SYN-to-first-data gaps and burst spacing only.
+    """
+    sim = Simulator(seed=seed)
+    queue = make_queue(
+        kind, sim, capacity_bps, rtt, pkt_size, buffer_rtts, **taq_kwargs
+    )
+    bell = Dumbbell(sim, capacity_bps, rtt, queue=queue, pkt_size=pkt_size)
+    if isinstance(queue, TAQQueue) and reverse_tap:
+        queue.install_reverse_tap(bell.reverse)
+    collector = SliceGoodputCollector(slice_seconds)
+    bell.forward.add_delivery_tap(collector.observe)
+    return Bench(sim=sim, bell=bell, queue=queue, collector=collector)
+
+
+@dataclass
+class TableResult:
+    """A titled table of result rows — the experiment's deliverable."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(row))
+
+    def column(self, name: str) -> List:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """Render as CSV (header row + data rows), for plotting tools."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to *path*."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def __str__(self) -> str:
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.4g}"
+            return str(cell)
+
+        cells = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""SPR — the paper's future work: an end-host mechanism for the regime.
+
+The conclusion of the paper: "In the future we plan to investigate
+end-host congestion control mechanisms for small packet regimes."
+:mod:`repro.tcp.spr` is that investigation; this experiment evaluates
+it in three deployments over a plain DropTail bottleneck:
+
+- **all-newreno** — the baseline breakdown;
+- **all-spr** — every end host runs SPR-TCP;
+- **mixed** — half the population upgrades, half stays NewReno: the
+  deployment-honesty check.  An end-host fix that only works by
+  out-knocking legacy flows is a congestion-control arms race, not a
+  fix; the experiment measures the goodput ratio between the classes.
+
+TAQ with plain NewReno is reported alongside as the in-network
+reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import TableResult, build_dumbbell
+from repro.workloads import spawn_bulk_flows
+
+
+@dataclass
+class Config:
+    capacity_bps: float = 600_000.0
+    n_flows: int = 120
+    duration: float = 120.0
+    rtt: float = 0.2
+    slice_seconds: float = 20.0
+    seed: int = 1
+    scenarios: Sequence[str] = ("all-newreno", "all-spr", "mixed", "taq-reference")
+
+    @classmethod
+    def paper(cls) -> "Config":
+        return cls(duration=400.0, n_flows=200, capacity_bps=1_000_000.0)
+
+
+@dataclass
+class ScenarioResult:
+    scenario: str
+    short_term_jain: float
+    shut_out_fraction: float
+    loss_rate: float
+    utilization: float
+    #: Fraction of deliveries that were non-duplicate (wasted-capacity check).
+    goodput_efficiency: float = 1.0
+    #: mixed scenario only: mean SPR-flow goodput / mean NewReno goodput.
+    spr_advantage: float = 1.0
+    spr_entries: int = 0
+
+
+@dataclass
+class Result:
+    scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
+
+    def table(self) -> TableResult:
+        table = TableResult(
+            title="Future work: SPR-TCP (end-host) vs the regime",
+            headers=("scenario", "short_jfi", "shut_out", "loss", "util",
+                     "goodput_eff", "spr_vs_legacy", "spr_entries"),
+        )
+        for name in ("all-newreno", "all-spr", "mixed", "taq-reference"):
+            if name not in self.scenarios:
+                continue
+            r = self.scenarios[name]
+            table.add(r.scenario, r.short_term_jain, r.shut_out_fraction,
+                      r.loss_rate, r.utilization, r.goodput_efficiency,
+                      r.spr_advantage, r.spr_entries)
+        table.notes.append(
+            "SPR-TCP: bounded RTO backoff + pacing, engaged only after "
+            "consecutive timeouts; trade-off is a higher bottleneck loss rate"
+        )
+        return table
+
+    def __str__(self) -> str:
+        return str(self.table())
+
+
+def _run_scenario(name: str, config: Config) -> ScenarioResult:
+    queue_kind = "taq" if name == "taq-reference" else "droptail"
+    bench = build_dumbbell(
+        queue_kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        slice_seconds=config.slice_seconds,
+    )
+    half = config.n_flows // 2
+    if name == "all-spr":
+        flows = spawn_bulk_flows(bench.bell, config.n_flows, start_window=5.0,
+                                 extra_rtt_max=0.1, variant="spr")
+        spr_flows, legacy_flows = flows, []
+    elif name == "mixed":
+        spr_flows = spawn_bulk_flows(bench.bell, half, start_window=5.0,
+                                     extra_rtt_max=0.1, variant="spr")
+        legacy_flows = spawn_bulk_flows(
+            bench.bell, config.n_flows - half, start_window=5.0,
+            extra_rtt_max=0.1, variant="newreno", first_flow_id=half,
+            rng_name="bulk-starts-legacy",
+        )
+        flows = spr_flows + legacy_flows
+    else:
+        flows = spawn_bulk_flows(bench.bell, config.n_flows, start_window=5.0,
+                                 extra_rtt_max=0.1, variant="newreno")
+        spr_flows, legacy_flows = [], flows
+    bench.sim.run(until=config.duration)
+
+    flow_ids = [f.flow_id for f in flows]
+    indices = bench.collector.slice_indices()
+    steady = indices[len(indices) // 2] if indices else 0
+
+    spr_advantage = 1.0
+    if spr_flows and legacy_flows:
+        def mean_goodput(group):
+            total = 0.0
+            count = 0
+            for index in indices[1:-1] or indices:
+                goodputs = bench.collector.slice_goodputs(
+                    index, [f.flow_id for f in group]
+                )
+                total += sum(goodputs)
+                count += len(goodputs)
+            return total / count if count else 0.0
+
+        legacy = mean_goodput(legacy_flows)
+        spr_advantage = mean_goodput(spr_flows) / legacy if legacy > 0 else float("inf")
+
+    from repro.metrics.flowstats import goodput_efficiency
+
+    return ScenarioResult(
+        scenario=name,
+        short_term_jain=bench.collector.mean_short_term_jain(flow_ids),
+        shut_out_fraction=bench.collector.shut_out_fraction(steady, flow_ids),
+        loss_rate=bench.queue.loss_rate(),
+        utilization=bench.bell.forward.stats.utilization(
+            config.capacity_bps, config.duration
+        ),
+        goodput_efficiency=goodput_efficiency(flows),
+        spr_advantage=spr_advantage,
+        spr_entries=sum(getattr(f.sender, "spr_entries", 0) for f in flows),
+    )
+
+
+def run(config: Config = Config()) -> Result:
+    result = Result()
+    for name in config.scenarios:
+        result.scenarios[name] = _run_scenario(name, config)
+    return result

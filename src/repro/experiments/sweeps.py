@@ -1,0 +1,93 @@
+"""The fair-share fairness sweep shared by Figs 2, 8 and 11.
+
+One sweep point = (bottleneck capacity, per-flow fair share): the flow
+count is ``capacity / fair_share`` long-running flows, and the metric is
+the mean 20-second-slice Jain index (plus the whole-run "long-term" JFI
+and utilization for context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import Bench, build_dumbbell
+from repro.workloads import spawn_bulk_flows
+
+
+@dataclass
+class SweepPoint:
+    """One measured sweep point."""
+
+    capacity_bps: float
+    n_flows: int
+    fair_share_bps: float
+    packets_per_rtt: float
+    short_term_jain: float
+    long_term_jain: float
+    utilization: float
+    loss_rate: float
+    timeouts: int
+    repetitive_timeouts: int
+    shut_out_fraction: float
+
+
+def flows_for_fair_share(capacity_bps: float, fair_share_bps: float) -> int:
+    """Flow count realizing *fair_share_bps* on *capacity_bps*."""
+    return max(2, round(capacity_bps / fair_share_bps))
+
+
+def run_sweep_point(
+    kind: str,
+    capacity_bps: float,
+    fair_share_bps: float,
+    duration: float = 120.0,
+    rtt: float = 0.2,
+    slice_seconds: float = 20.0,
+    seed: int = 1,
+    bench: Optional[Bench] = None,
+    **queue_kwargs,
+) -> SweepPoint:
+    """Measure one (capacity, fair-share) point under queue *kind*."""
+    n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
+    if bench is None:
+        bench = build_dumbbell(
+            kind,
+            capacity_bps,
+            rtt=rtt,
+            seed=seed,
+            slice_seconds=slice_seconds,
+            **queue_kwargs,
+        )
+    flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    bench.sim.run(until=duration)
+    flow_ids = [f.flow_id for f in flows]
+    indices = bench.collector.slice_indices()
+    steady = indices[len(indices) // 2] if indices else 0
+    return SweepPoint(
+        capacity_bps=capacity_bps,
+        n_flows=n_flows,
+        fair_share_bps=capacity_bps / n_flows,
+        packets_per_rtt=bench.bell.packets_per_rtt(n_flows),
+        short_term_jain=bench.collector.mean_short_term_jain(flow_ids),
+        long_term_jain=bench.collector.long_term_jain(flow_ids),
+        utilization=bench.bell.forward.stats.utilization(capacity_bps, duration),
+        loss_rate=bench.queue.loss_rate(),
+        timeouts=sum(f.sender.stats.timeouts for f in flows),
+        repetitive_timeouts=sum(f.sender.stats.repetitive_timeouts for f in flows),
+        shut_out_fraction=bench.collector.shut_out_fraction(steady, flow_ids),
+    )
+
+
+def run_sweep(
+    kind: str,
+    capacities_bps: Sequence[float],
+    fair_shares_bps: Sequence[float],
+    **kwargs,
+) -> List[SweepPoint]:
+    """Cross-product sweep over capacities and fair shares."""
+    points = []
+    for capacity in capacities_bps:
+        for fair_share in fair_shares_bps:
+            points.append(run_sweep_point(kind, capacity, fair_share, **kwargs))
+    return points

@@ -1,0 +1,95 @@
+"""Terminal charts for experiment results.
+
+The experiments print tables; sometimes the *shape* is easier to read
+as a picture.  This module renders small, dependency-free charts:
+
+- :func:`line_chart` — one or more (x, y) series on a shared canvas
+  (Figs 2/8-style sweeps),
+- :func:`bar_chart` — labeled horizontal bars (Fig 9-style counts),
+- :func:`cdf_chart` — convenience wrapper plotting CDF point lists
+  (Fig 12).
+
+Used by ``taq-experiments --chart``; also handy interactively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def line_chart(
+    series: Dict[str, Series],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one canvas, one marker per series."""
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            canvas[row][col] = marker
+    lines: List[str] = []
+    for row_index, row in enumerate(canvas):
+        value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        lines.append(f"{value:>10.3g} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {x_lo:<.4g}{x_label:^{max(0, width - 16)}}{x_hi:>.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>11} {legend}")
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars for labeled values."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * (_scale(value, 0.0, peak, width) + 1 if peak > 0 else 0)
+        lines.append(f"{str(name):>{label_width}}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    cdfs: Dict[str, Series],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "value",
+) -> str:
+    """Plot CDFs (y in [0, 1]) for one or more named distributions."""
+    return line_chart(cdfs, width=width, height=height, x_label=x_label,
+                      y_label="CDF")

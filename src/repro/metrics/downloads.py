@@ -1,0 +1,110 @@
+"""Download-time distributions (Figs 1 and 12).
+
+Fig 1 buckets objects by size into logarithmic buckets and reports the
+min / 10th percentile / average / 90th percentile / max download time
+per bucket.  Fig 12 plots CDFs of download times for objects within a
+size band.  Both work off :class:`DownloadSample` records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DownloadSample:
+    """One completed object download."""
+
+    size_bytes: int
+    duration: float
+
+
+def log_bucket(size_bytes: int, base: float = 10.0) -> int:
+    """Logarithmic bucket index of an object size (Fig 1's x-axis).
+
+    Bucket ``k`` holds sizes in ``[base^k, base^(k+1))``; 100 B objects
+    land in bucket 2 with the default base.
+    """
+    if size_bytes < 1:
+        raise ValueError("size must be >= 1 byte")
+    # The epsilon keeps exact powers of the base (1000, 10000, ...) in
+    # the bucket they open rather than one below (float log rounding).
+    return int(math.floor(math.log(size_bytes, base) + 1e-9))
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted *sorted_values*."""
+    if not sorted_values:
+        raise ValueError("empty population")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (len(sorted_values) - 1) * q / 100.0
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    value = sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+    # Interpolation rounding must not escape the observed range.
+    return min(sorted_values[-1], max(sorted_values[0], value))
+
+
+@dataclass
+class BucketStats:
+    """Fig 1's per-bucket summary row."""
+
+    bucket: int
+    count: int
+    minimum: float
+    p10: float
+    average: float
+    p90: float
+    maximum: float
+
+
+def bucket_statistics(
+    samples: Iterable[DownloadSample], base: float = 10.0
+) -> List[BucketStats]:
+    """Group *samples* into log-size buckets and summarize each."""
+    groups: Dict[int, List[float]] = {}
+    for sample in samples:
+        groups.setdefault(log_bucket(sample.size_bytes, base), []).append(
+            sample.duration
+        )
+    rows = []
+    for bucket in sorted(groups):
+        durations = sorted(groups[bucket])
+        rows.append(
+            BucketStats(
+                bucket=bucket,
+                count=len(durations),
+                minimum=durations[0],
+                p10=percentile(durations, 10),
+                average=sum(durations) / len(durations),
+                p90=percentile(durations, 90),
+                maximum=durations[-1],
+            )
+        )
+    return rows
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``[(value, cumulative_fraction)]`` (Fig 12)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cdf_percentile(values: Iterable[float], q: float) -> float:
+    """Convenience: the *q*-th percentile of *values*."""
+    return percentile(sorted(values), q)
+
+
+def spread_orders_of_magnitude(durations: Iterable[float]) -> float:
+    """log10(max/min) — Fig 1's headline is a spread over 2 orders."""
+    ordered = sorted(d for d in durations if d > 0)
+    if len(ordered) < 2:
+        return 0.0
+    return math.log10(ordered[-1] / ordered[0])

@@ -1,0 +1,58 @@
+"""The paper's idealized Markov models of TCP in small packet regimes.
+
+Two variants are provided, mirroring §3.1 of the paper:
+
+- the **partial model** (Fig 4): the congestion-window chain
+  ``S2..SWmax`` plus a single retransmit state ``S1``, the
+  simple-timeout buffer ``b0`` and the aggregated repetitive-timeout
+  buffer ``b*`` whose expected occupancy ``1/(1-2p)`` collapses the
+  infinite backoff ladder;
+- the **full model** (Fig 5): the same window chain with the timeout
+  ladder expanded into explicit backoff stages (wait states ``W1..W3+``
+  and retransmit states ``R1..R3``), the third stage aggregating all
+  deeper backoffs.
+
+Both are one-parameter models in the bottleneck loss probability ``p``
+(valid for ``0 <= p < 0.5``; the repetitive-timeout geometry diverges at
+``p = 0.5``).  :mod:`repro.model.analysis` derives the paper's takeaways
+(timeout probability, expected idle time, the ~10% tipping point), and
+:func:`repro.model.census.packets_sent_census` maps stationary
+probabilities onto the "k packets sent per epoch" buckets that Fig 6
+validates against simulation.
+"""
+
+from repro.model.chain import MarkovChain
+from repro.model.partial import build_partial_model
+from repro.model.full import build_full_model
+from repro.model.analysis import (
+    expected_epochs_to_timeout,
+    expected_idle_epochs,
+    expected_silence_run,
+    find_tipping_point,
+    silence_probability,
+    silence_run_distribution,
+    timeout_probability,
+)
+from repro.model.census import packets_sent_census
+from repro.model.padhye import (
+    padhye_throughput_pkts_per_rtt,
+    padhye_throughput_pps,
+    stationary_throughput_pkts_per_epoch,
+)
+
+__all__ = [
+    "MarkovChain",
+    "build_partial_model",
+    "build_full_model",
+    "expected_epochs_to_timeout",
+    "expected_idle_epochs",
+    "expected_silence_run",
+    "silence_run_distribution",
+    "find_tipping_point",
+    "silence_probability",
+    "timeout_probability",
+    "packets_sent_census",
+    "padhye_throughput_pkts_per_rtt",
+    "padhye_throughput_pps",
+    "stationary_throughput_pkts_per_epoch",
+]

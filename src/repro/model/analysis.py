@@ -1,0 +1,205 @@
+"""Derived quantities and takeaways from the idealized models (§3.2).
+
+- :func:`expected_idle_epochs` — eq. 8's closed form ``1/(1-2p)``.
+- :func:`timeout_probability` — stationary probability of being in a
+  timeout-related state (silent or retransmitting after RTO).
+- :func:`silence_probability` — stationary probability of sending
+  nothing in an epoch.
+- :func:`find_tipping_point` — the loss rate past which the timeout
+  probability rises fastest; the paper reads ~0.1 off the model and
+  TAQ's admission controller uses it as ``p_thresh``.
+- :func:`expected_epochs_to_timeout` — mean first-passage time from a
+  window state into the timeout machinery (how long a freshly-recovered
+  flow survives).
+- :func:`silence_run_distribution` — the length distribution of silent
+  periods the model predicts, the per-event view behind the hang
+  numbers of §2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.model.census import packets_sent_census
+from repro.model.chain import MarkovChain
+from repro.model.full import build_full_model
+from repro.model.partial import build_partial_model
+
+_BUILDERS: Dict[str, Callable[..., MarkovChain]] = {
+    "partial": build_partial_model,
+    "full": build_full_model,
+}
+
+_TIMEOUT_STATES = frozenset({"b0", "b*", "S1", "R1", "W2", "R2", "W3", "R3"})
+
+
+def _build(variant: str, p: float, wmax: int) -> MarkovChain:
+    try:
+        builder = _BUILDERS[variant]
+    except KeyError:
+        raise ValueError(f"unknown model variant {variant!r}; use 'partial' or 'full'")
+    return builder(p, wmax=wmax)
+
+
+def expected_idle_epochs(p: float) -> float:
+    """Expected idle epochs once in a timeout period (eq. 8): ``1/(1-2p)``."""
+    if not 0.0 <= p < 0.5:
+        raise ValueError("p must be in [0, 0.5)")
+    return 1.0 / (1.0 - 2.0 * p)
+
+
+def backoff_stage_probability(p: float, stage: int) -> float:
+    """``P(S_{1/2^stage} | RTO)`` — eq. 5/7: ``p^(stage-1) (1-p)``.
+
+    Stage 1 is the base timer (probability ``1-p``), stage 2 one
+    backoff, and so on.
+    """
+    if stage < 1:
+        raise ValueError("stage must be >= 1")
+    if not 0.0 <= p < 1.0:
+        raise ValueError("p must be in [0, 1)")
+    return (p ** (stage - 1)) * (1.0 - p)
+
+
+def timeout_probability(p: float, variant: str = "partial", wmax: int = 6) -> float:
+    """Stationary probability of being in any timeout-related state."""
+    chain = _build(variant, p, wmax)
+    stationary = chain.stationary()
+    return sum(prob for state, prob in stationary.items() if state in _TIMEOUT_STATES)
+
+
+def silence_probability(p: float, variant: str = "partial", wmax: int = 6) -> float:
+    """Stationary probability of an epoch with zero packets sent."""
+    chain = _build(variant, p, wmax)
+    return packets_sent_census(chain)[0]
+
+
+def timeout_probability_curve(
+    p_values: List[float], variant: str = "partial", wmax: int = 6
+) -> List[Tuple[float, float]]:
+    """``[(p, P(timeout state))]`` over a sweep of loss rates."""
+    return [(p, timeout_probability(p, variant, wmax)) for p in p_values]
+
+
+def expected_epochs_to_timeout(
+    p: float,
+    start: str = "S2",
+    variant: str = "partial",
+    wmax: int = 6,
+) -> float:
+    """Mean first-passage time (epochs) from *start* into a timeout state.
+
+    Answers "after recovering to S2, how long until the next timeout?"
+    — computed by making the timeout states absorbing and solving
+    ``E[tau_s] = 1 + sum_s' P(s -> s') E[tau_s']`` over the window
+    states.  Returns ``inf`` at ``p = 0`` (a lossless flow never times
+    out).
+    """
+    if p <= 0:
+        return float("inf")
+    chain = _build(variant, p, wmax)
+    transient = [s for s in chain.states if s not in _TIMEOUT_STATES]
+    if start not in transient:
+        raise ValueError(f"start state {start!r} is not a window state")
+    index = {state: i for i, state in enumerate(transient)}
+    n = len(transient)
+    A = np.eye(n)
+    b = np.ones(n)
+    for s in transient:
+        for s2 in transient:
+            A[index[s], index[s2]] -= chain.transition(s, s2)
+    solution = np.linalg.solve(A, b)
+    return float(solution[index[start]])
+
+
+def silence_run_distribution(
+    p: float, max_len: int = 30, wmax: int = 6
+) -> Dict[int, float]:
+    """Distribution of silent-period lengths (epochs), partial model.
+
+    A silent period starts when a flow enters ``b0`` (simple timeout:
+    one silent epoch, then the ``S1`` retransmission) or ``b*``
+    (repetitive: geometric occupancy with continuation ``2p``).  Entry
+    mass comes from the stationary flux into each; the result is the
+    mixture ``P(run length = k)``, truncated at *max_len* (the residual
+    tail mass is folded into the last bucket).
+    """
+    chain = _build("partial", p, wmax)
+    stationary = chain.stationary()
+    # Flux into b0, and into b* from OUTSIDE the silent set (runs are
+    # maximal: re-entering b* from b* extends a run, it does not start one).
+    flux_b0 = sum(
+        stationary[s] * chain.transition(s, "b0")
+        for s in chain.states
+        if s != "b0"
+    )
+    flux_bstar = sum(
+        stationary[s] * chain.transition(s, "b*")
+        for s in chain.states
+        if s not in ("b*",)
+    )
+    total = flux_b0 + flux_bstar
+    if total <= 0:
+        return {1: 1.0}
+    w_b0 = flux_b0 / total
+    w_bstar = flux_bstar / total
+    continuation = 2.0 * p
+    distribution: Dict[int, float] = {}
+    for k in range(1, max_len):
+        mass = continuation ** (k - 1) * (1.0 - continuation) * w_bstar
+        if k == 1:
+            mass += w_b0
+        distribution[k] = mass
+    distribution[max_len] = max(0.0, 1.0 - sum(distribution.values()))
+    return distribution
+
+
+def expected_silence_run(p: float, wmax: int = 6) -> float:
+    """Mean silent-period length implied by :func:`silence_run_distribution`
+    (un-truncated closed form)."""
+    chain = _build("partial", p, wmax)
+    stationary = chain.stationary()
+    flux_b0 = sum(
+        stationary[s] * chain.transition(s, "b0") for s in chain.states if s != "b0"
+    )
+    flux_bstar = sum(
+        stationary[s] * chain.transition(s, "b*") for s in chain.states if s != "b*"
+    )
+    total = flux_b0 + flux_bstar
+    if total <= 0:
+        return 1.0
+    return (flux_b0 * 1.0 + flux_bstar * expected_idle_epochs(p)) / total
+
+
+def find_tipping_point(
+    variant: str = "partial",
+    wmax: int = 6,
+    threshold: float = 0.3,
+    p_min: float = 0.001,
+    p_max: float = 0.45,
+    tolerance: float = 1e-4,
+) -> float:
+    """Loss rate beyond which timeouts dominate (§3.2's takeaway).
+
+    Operationalized as the smallest ``p`` at which the stationary
+    probability of being in a timeout-related state reaches *threshold*
+    (default 0.3 — "a large fraction of flows will remain in timeout
+    states").  The timeout probability is monotone in ``p`` so a
+    bisection suffices.  With the defaults the partial model yields
+    ``p ~ 0.1``, the value the paper reads off the model and uses as
+    TAQ's admission-control threshold ``p_thresh`` (§4.3).
+    """
+    lo, hi = p_min, p_max
+    if timeout_probability(lo, variant, wmax) >= threshold:
+        return lo
+    if timeout_probability(hi, variant, wmax) < threshold:
+        return hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if timeout_probability(mid, variant, wmax) >= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0

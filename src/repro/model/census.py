@@ -1,0 +1,47 @@
+"""Mapping model states onto the "k packets sent per epoch" census.
+
+Fig 6 validates the model by comparing, for each loss probability, the
+stationary probability that a flow transmits 0, 1, 2, ... packets in an
+epoch against a per-epoch census of simulated flows.  The mapping from
+states to transmit counts:
+
+- 0 sent:  all buffer/wait states (``b0``, ``b*`` or ``W2/W3``);
+- 1 sent:  the retransmit states (``S1`` or ``R1/R2/R3``);
+- k sent (k >= 2): window state ``Sk``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.chain import MarkovChain
+
+_ZERO_SENT_STATES = frozenset({"b0", "b*", "W2", "W3"})
+_ONE_SENT_STATES = frozenset({"S1", "R1", "R2", "R3"})
+
+
+def packets_sent_per_epoch(state: str) -> int:
+    """Number of packets a flow transmits during one epoch in *state*."""
+    if state in _ZERO_SENT_STATES:
+        return 0
+    if state in _ONE_SENT_STATES:
+        return 1
+    if state.startswith("S") and state[1:].isdigit():
+        return int(state[1:])
+    raise ValueError(f"unknown model state {state!r}")
+
+
+def packets_sent_census(chain: MarkovChain) -> Dict[int, float]:
+    """Stationary distribution over packets-sent-per-epoch buckets.
+
+    Returns ``{k: probability a flow sends exactly k packets in an
+    epoch}`` with every bucket up to the chain's Wmax present (possibly
+    zero).
+    """
+    stationary = chain.stationary()
+    census: Dict[int, float] = {}
+    for state, probability in stationary.items():
+        k = packets_sent_per_epoch(state)
+        census[k] = census.get(k, 0.0) + probability
+    max_k = max(census)
+    return {k: census.get(k, 0.0) for k in range(0, max_k + 1)}

@@ -1,0 +1,130 @@
+"""A small discrete-time Markov chain toolkit.
+
+States are named strings; transitions are kept sparse until a numpy
+matrix is needed.  The stationary distribution is obtained by solving
+the linear system ``pi (P - I) = 0`` with the normalization constraint
+``sum(pi) = 1`` (least squares on the augmented system), which is robust
+for the modest chains the models produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+class MarkovChain:
+    """A finite DTMC with named states.
+
+    Build with :meth:`add_state` / :meth:`add_transition`; rows must sum
+    to 1 (checked by :meth:`validate`, called automatically before any
+    numeric work).
+    """
+
+    def __init__(self) -> None:
+        self._states: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._transitions: Dict[Tuple[str, str], float] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_state(self, name: str) -> None:
+        if name in self._index:
+            raise ValueError(f"duplicate state {name!r}")
+        self._index[name] = len(self._states)
+        self._states.append(name)
+
+    def add_states(self, names: Iterable[str]) -> None:
+        for name in names:
+            self.add_state(name)
+
+    def add_transition(self, src: str, dst: str, prob: float) -> None:
+        """Add probability mass from *src* to *dst* (accumulates)."""
+        if src not in self._index or dst not in self._index:
+            raise KeyError(f"unknown state in transition {src!r} -> {dst!r}")
+        if prob < -1e-12 or prob > 1 + 1e-12:
+            raise ValueError(f"probability {prob!r} out of range for {src!r}->{dst!r}")
+        if prob <= 0:
+            return
+        key = (src, dst)
+        self._transitions[key] = self._transitions.get(key, 0.0) + prob
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def states(self) -> List[str]:
+        return list(self._states)
+
+    def transition(self, src: str, dst: str) -> float:
+        return self._transitions.get((src, dst), 0.0)
+
+    def validate(self, tolerance: float = 1e-9) -> None:
+        """Check every row sums to 1 within *tolerance*."""
+        totals = {state: 0.0 for state in self._states}
+        for (src, _dst), prob in self._transitions.items():
+            totals[src] += prob
+        for state, total in totals.items():
+            if abs(total - 1.0) > tolerance:
+                raise ValueError(f"row {state!r} sums to {total!r}, not 1")
+
+    # -- numerics ----------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Dense row-stochastic transition matrix in state order."""
+        self.validate()
+        n = len(self._states)
+        P = np.zeros((n, n))
+        for (src, dst), prob in self._transitions.items():
+            P[self._index[src], self._index[dst]] = prob
+        return P
+
+    def stationary(self) -> Dict[str, float]:
+        """Stationary distribution ``pi`` with ``pi P = pi``."""
+        P = self.matrix()
+        n = P.shape[0]
+        # Solve pi (P - I) = 0 with sum(pi) = 1: append the normalization
+        # column and least-squares the overdetermined system.
+        A = np.vstack([(P.T - np.eye(n)), np.ones((1, n))])
+        b = np.zeros(n + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        pi = pi / pi.sum()
+        return {state: float(pi[self._index[state]]) for state in self._states}
+
+    def expected_return_time(self, state: str) -> float:
+        """Mean recurrence time of *state* (1 / stationary probability)."""
+        pi = self.stationary()[state]
+        if pi <= 0:
+            return float("inf")
+        return 1.0 / pi
+
+    def absorbing_states(self) -> List[str]:
+        """States whose only outgoing mass is the self-loop."""
+        result = []
+        for state in self._states:
+            if abs(self.transition(state, state) - 1.0) < 1e-12:
+                result.append(state)
+        return result
+
+    def simulate(self, start: str, steps: int, rng) -> List[str]:
+        """Sample a trajectory (for validation tests)."""
+        self.validate()
+        path = [start]
+        current = start
+        for _ in range(steps):
+            r = rng.random()
+            cumulative = 0.0
+            nxt = current
+            for candidate in self._states:
+                prob = self.transition(current, candidate)
+                if prob <= 0:
+                    continue
+                cumulative += prob
+                if r < cumulative:
+                    nxt = candidate
+                    break
+            current = nxt
+            path.append(current)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MarkovChain {len(self._states)} states, {len(self._transitions)} arcs>"

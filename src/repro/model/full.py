@@ -1,0 +1,100 @@
+"""The Full Model (Fig 5): timeout ladder expanded into backoff stages.
+
+The paper expands the aggregate ``b*`` into stages that remember how
+many consecutive backoffs the flow has accumulated ("at least 1
+backoff", "at least 2 backoffs", "at least 3 backoffs"), and omits the
+transition algebra for space.  This module reconstructs it from TCP
+mechanics, with the base timer ``T0 = 2 x RTT`` (one idle epoch + one
+retransmit epoch):
+
+- stage ``k`` means the retransmission timer is ``2^k x T0``-ish;
+  concretely the flow sits in wait state ``Wk`` for ``2^k - 1`` idle
+  epochs and then spends one epoch in retransmit state ``Rk``;
+- stage 1's wait is exactly one epoch, realized by ``b0`` (which thus
+  doubles as the "at least 1 backoff" wait state);
+- ``W2`` waits 3 epochs in expectation (geometric exit ``1/3``);
+- ``W3`` aggregates every stage ``>= 3``: conditioned on reaching it,
+  the expected idle time is
+
+      ``E3 = sum_{j>=3} (2^j - 1) p^(j-3) (1-p)  =  8(1-p)/(1-2p) - 1``
+
+  (the same geometric-series argument as eq. 8), so
+  ``P(W3 -> R3) = 1/E3``;
+- ``Rk`` retransmits: success ``(1-p)`` re-enters the window chain at
+  ``S2``; failure ``p`` doubles the timer into the next stage
+  (``R3`` failures stay in the ``>= 3`` aggregate);
+- a *simple* timeout (from ``S4..S6``) collapses backoff first, so it
+  enters the ladder at the bottom: ``b0`` (one idle epoch) then ``R1``;
+- a timeout from ``S2``/``S3`` carries memory of the preceding timeout
+  (those states are reached right after recovery, before any ack of new
+  data has reset the timer), so it enters at stage 2: ``W2``.
+
+Collapsing ``{W2, W3, R2, R3}`` recovers the partial model's ``b*`` and
+``R1`` its ``S1``, so the two variants agree closely for small ``p``
+and diverge exactly where repetitive timeouts dominate — which is the
+regime the full model exists to sharpen.
+"""
+
+from __future__ import annotations
+
+from repro.model.chain import MarkovChain
+from repro.model.partial import (
+    FAST_RETRANSMIT_MIN_WINDOW,
+    _check_p,
+    fast_retransmit_probability,
+    timeout_probability_from_window,
+    window_success_probability,
+)
+
+
+def aggregate_stage3_idle_epochs(p: float) -> float:
+    """Expected idle epochs in the ``>= 3 backoffs`` aggregate.
+
+    ``sum_{j>=3} (2^j - 1) p^(j-3) (1-p) = 8(1-p)/(1-2p) - 1``.
+    """
+    _check_p(p)
+    return 8.0 * (1.0 - p) / (1.0 - 2.0 * p) - 1.0
+
+
+def build_full_model(p: float, wmax: int = 6) -> MarkovChain:
+    """Construct the full model for loss probability *p* (see module doc)."""
+    _check_p(p)
+    if wmax < 4:
+        raise ValueError("wmax must be >= 4 so fast retransmit can exist")
+    chain = MarkovChain()
+    window_states = [f"S{n}" for n in range(2, wmax + 1)]
+    chain.add_states(["b0", "R1", "W2", "R2", "W3", "R3"] + window_states)
+
+    for n in range(2, wmax + 1):
+        src = f"S{n}"
+        success = window_success_probability(n, p)
+        fast = fast_retransmit_probability(n, p)
+        rto = timeout_probability_from_window(n, p)
+        chain.add_transition(src, f"S{min(n + 1, wmax)}", success)
+        if fast > 0:
+            chain.add_transition(src, f"S{n // 2}", fast)
+        if rto > 0:
+            if n >= FAST_RETRANSMIT_MIN_WINDOW:
+                chain.add_transition(src, "b0", rto)   # simple timeout
+            else:
+                chain.add_transition(src, "W2", rto)   # repetitive timeout
+
+    # Stage 1: timer T0 = 2 RTT — one idle epoch (b0, which doubles as
+    # the "at least 1 backoff" wait state), then the first retransmit.
+    chain.add_transition("b0", "R1", 1.0)
+    chain.add_transition("R1", "S2", 1.0 - p)
+    chain.add_transition("R1", "W2", p)
+    # Stage 2: timer 4 RTT; 3 idle epochs in expectation.
+    chain.add_transition("W2", "R2", 1.0 / 3.0)
+    chain.add_transition("W2", "W2", 2.0 / 3.0)
+    chain.add_transition("R2", "S2", 1.0 - p)
+    chain.add_transition("R2", "W3", p)
+    # Stage >= 3 aggregate.
+    idle3 = aggregate_stage3_idle_epochs(p)
+    exit3 = 1.0 / idle3
+    chain.add_transition("W3", "R3", exit3)
+    chain.add_transition("W3", "W3", 1.0 - exit3)
+    chain.add_transition("R3", "S2", 1.0 - p)
+    chain.add_transition("R3", "W3", p)
+    chain.validate()
+    return chain

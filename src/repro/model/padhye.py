@@ -1,0 +1,71 @@
+"""The Padhye/PFTK steady-state TCP throughput model (SIGCOMM '98).
+
+§6 of the paper positions its stationary-distribution model against
+Padhye et al.: "The Padhye model is a much better fit when the packet
+loss rates p are relatively small; at high values of p, however, we
+observe extended and repetitive timeouts, the dynamics of which are not
+captured in detail in the Padhye model."  This module implements the
+full PFTK formula so the comparison can be *measured*
+(:mod:`repro.experiments.padhye_comparison`).
+
+The formula (packets per second, with ``b`` ACKed packets per ACK and
+window cap ``Wmax``):
+
+    T = min( Wmax / RTT,
+             1 / ( RTT sqrt(2bp/3)
+                   + T0 min(1, 3 sqrt(3bp/8)) p (1 + 32 p^2) ) )
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.model.census import packets_sent_census
+from repro.model.chain import MarkovChain
+
+
+def padhye_throughput_pps(
+    p: float,
+    rtt: float,
+    rto: Optional[float] = None,
+    wmax: Optional[float] = None,
+    b: float = 1.0,
+) -> float:
+    """PFTK throughput in packets per second.
+
+    Parameters mirror the published formula; ``rto`` defaults to the
+    common ``4 x RTT`` approximation, and ``b = 1`` matches receivers
+    that ack every packet (as the paper's simulations configure).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    t0 = rto if rto is not None else 4.0 * rtt
+    denominator = rtt * math.sqrt(2.0 * b * p / 3.0) + t0 * min(
+        1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    rate = 1.0 / denominator
+    if wmax is not None:
+        rate = min(rate, wmax / rtt)
+    return rate
+
+
+def padhye_throughput_pkts_per_rtt(
+    p: float, rtt: float = 1.0, **kwargs
+) -> float:
+    """PFTK throughput in packets per RTT (rtt cancels unless rto given)."""
+    return padhye_throughput_pps(p, rtt, **kwargs) * rtt
+
+
+def stationary_throughput_pkts_per_epoch(chain: MarkovChain) -> float:
+    """Expected transmissions per epoch under the stationary census.
+
+    This is the throughput prediction *implied* by the paper's model:
+    ``sum_k k x P(k sent per epoch)``.  Where Padhye yields a single
+    expected rate, the census also says how that rate is distributed
+    across states — which is what TAQ consumes.
+    """
+    census = packets_sent_census(chain)
+    return sum(k * probability for k, probability in census.items())

@@ -1,0 +1,111 @@
+"""The Partial Model (Fig 4): window chain + aggregated timeout states.
+
+State space (default ``Wmax = 6``):
+
+- ``S2 .. S6`` — congestion-window states: in state ``Sn`` the sender
+  transmits ``n`` packets this epoch.
+- ``S1`` — the timeout-retransmit state: the backed-off timer fires and
+  exactly one (re)transmission is sent.
+- ``b0`` — the one-epoch empty-buffer wait of a *simple* timeout
+  (entered from S4..S6, which have fresh RTT state): together with the
+  subsequent ``S1`` epoch this realizes the paper's
+  ``T0 = 2 x RTT`` silence.
+- ``b*`` — the aggregate repetitive-timeout buffer.  Entered from
+  S2/S3 timeouts (which carry backoff memory) and from failed
+  retransmissions in ``S1``.  Its geometry encodes the infinite backoff
+  ladder: the expected idle time is ``1/(1 - 2p)`` epochs (eq. 8), so
+  ``P(b* -> S1) = 1 - 2p`` and ``P(b* -> b*) = 2p`` (eqs. 9, 10).
+
+Per-epoch transitions out of ``Sn`` (eqs. 1-3):
+
+- success (all ``n`` packets delivered): ``(1-p)^n`` to ``S(n+1)``
+  (``SWmax`` self-loops on success);
+- fast retransmit (only ``n >= 4``: three dupACKs need three survivors):
+  exactly one loss and the retransmission survives,
+  ``n p (1-p)^(n-1) (1-p)`` to ``S(n//2)``;
+- timeout: the residual.
+"""
+
+from __future__ import annotations
+
+from repro.model.chain import MarkovChain
+
+#: Fast retransmit requires 3 dupACKs, hence a window of at least 4.
+FAST_RETRANSMIT_MIN_WINDOW = 4
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p < 0.5:
+        raise ValueError(
+            f"loss probability p={p!r} outside [0, 0.5): the aggregated "
+            "timeout state's expected idle time 1/(1-2p) diverges at 0.5"
+        )
+
+
+def window_success_probability(n: int, p: float) -> float:
+    """``P(Sn -> Sn+1)``: all *n* transmissions succeed (eq. 1)."""
+    return (1.0 - p) ** n
+
+
+def fast_retransmit_probability(n: int, p: float) -> float:
+    """``P(Sn -> S(n//2))``: one loss, recovered by fast retransmit (eq. 2).
+
+    Zero below a window of 4: with fewer than 3 other packets in the
+    window the receiver cannot generate 3 dupACKs.
+    """
+    if n < FAST_RETRANSMIT_MIN_WINDOW:
+        return 0.0
+    return n * p * (1.0 - p) ** (n - 1) * (1.0 - p)
+
+
+def timeout_probability_from_window(n: int, p: float) -> float:
+    """``P(Sn -> RTO)``: the residual (eq. 3)."""
+    return max(
+        0.0,
+        1.0 - window_success_probability(n, p) - fast_retransmit_probability(n, p),
+    )
+
+
+def build_partial_model(p: float, wmax: int = 6) -> MarkovChain:
+    """Construct the partial model for loss probability *p*.
+
+    Parameters
+    ----------
+    p:
+        Per-packet loss probability at the bottleneck, ``0 <= p < 0.5``.
+    wmax:
+        Maximum congestion window.  The paper uses 6; the chain extends
+        mechanically to larger windows.
+    """
+    _check_p(p)
+    if wmax < 4:
+        raise ValueError("wmax must be >= 4 so fast retransmit can exist")
+    chain = MarkovChain()
+    window_states = [f"S{n}" for n in range(2, wmax + 1)]
+    chain.add_states(["S1", "b0", "b*"] + window_states)
+
+    for n in range(2, wmax + 1):
+        src = f"S{n}"
+        success = window_success_probability(n, p)
+        fast = fast_retransmit_probability(n, p)
+        rto = timeout_probability_from_window(n, p)
+        nxt = f"S{min(n + 1, wmax)}"
+        chain.add_transition(src, nxt, success)
+        if fast > 0:
+            chain.add_transition(src, f"S{n // 2}", fast)
+        if rto > 0:
+            if n >= FAST_RETRANSMIT_MIN_WINDOW:
+                # Simple timeout: fresh RTT state, deterministic 2-RTT
+                # silence through the empty-buffer state.
+                chain.add_transition(src, "b0", rto)
+            else:
+                # S2/S3 carry backoff memory: aggregated timeout buffer.
+                chain.add_transition(src, "b*", rto)
+
+    chain.add_transition("b0", "S1", 1.0)
+    chain.add_transition("b*", "S1", 1.0 - 2.0 * p)  # eq. 9
+    chain.add_transition("b*", "b*", 2.0 * p)        # eq. 10
+    chain.add_transition("S1", "S2", 1.0 - p)        # successful retransmit
+    chain.add_transition("S1", "b*", p)              # lost retransmit: backoff
+    chain.validate()
+    return chain

@@ -1,0 +1,32 @@
+"""Packet-level network substrate.
+
+This subpackage provides the pieces the paper's ns2/ns3 simulations rely
+on, rebuilt on top of :mod:`repro.sim`:
+
+- :class:`~repro.net.packet.Packet` — segments and ACKs with the header
+  fields a middlebox may legitimately inspect,
+- :class:`~repro.net.link.Link` — a unidirectional link with finite
+  capacity, propagation delay and a pluggable queue discipline,
+- :class:`~repro.net.node.Host` — endpoint demultiplexing,
+- :class:`~repro.net.topology.Dumbbell` — the single-bottleneck dumbbell
+  topology used by every experiment in the paper.
+"""
+
+from repro.net.packet import ACK, DATA, FIN, SYN, SYNACK, Packet
+from repro.net.link import Link, LinkStats
+from repro.net.node import Host, Node
+from repro.net.topology import Dumbbell
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "FIN",
+    "SYN",
+    "SYNACK",
+    "Packet",
+    "Link",
+    "LinkStats",
+    "Host",
+    "Node",
+    "Dumbbell",
+]

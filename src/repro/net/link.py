@@ -1,0 +1,195 @@
+"""A unidirectional link: queue + transmitter + propagation delay.
+
+The link models a store-and-forward output port.  An arriving packet is
+offered to the queue discipline (which may drop it); whenever the
+transmitter is idle and the queue is non-empty, the head packet is
+serialized at ``capacity_bps`` and delivered ``delay + packet.extra_delay``
+seconds after serialization finishes.  ``extra_delay`` lets the dumbbell
+topology give each flow its own access-path propagation without
+simulating per-flow access links (they are never the bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.queues.base import QueueDiscipline
+from repro.sim.simulator import Simulator
+
+Tap = Callable[[Packet, float], None]
+
+
+class LinkStats:
+    """Counters kept by every link (arrivals, drops, deliveries, bytes,
+    queueing-delay distribution)."""
+
+    __slots__ = (
+        "arrived",
+        "dropped",
+        "delivered",
+        "bytes_delivered",
+        "busy_time",
+        "queue_delay_total",
+        "queue_delay_max",
+        "queue_delay_samples",
+        "_delay_reservoir",
+    )
+
+    #: Size of the queueing-delay reservoir sample.
+    RESERVOIR = 2048
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.dropped = 0
+        self.delivered = 0
+        self.bytes_delivered = 0
+        self.busy_time = 0.0
+        self.queue_delay_total = 0.0
+        self.queue_delay_max = 0.0
+        self.queue_delay_samples = 0
+        self._delay_reservoir: List[float] = []
+
+    def note_queue_delay(self, delay: float) -> None:
+        """Record one packet's time spent waiting in the queue."""
+        self.queue_delay_total += delay
+        self.queue_delay_samples += 1
+        if delay > self.queue_delay_max:
+            self.queue_delay_max = delay
+        # Deterministic reservoir: keep every k-th sample once full.
+        if len(self._delay_reservoir) < self.RESERVOIR:
+            self._delay_reservoir.append(delay)
+        elif self.queue_delay_samples % 17 == 0:
+            self._delay_reservoir[self.queue_delay_samples % self.RESERVOIR] = delay
+
+    def mean_queue_delay(self) -> float:
+        if self.queue_delay_samples == 0:
+            return 0.0
+        return self.queue_delay_total / self.queue_delay_samples
+
+    def queue_delay_percentile(self, q: float) -> float:
+        """Approximate percentile of the queueing delay (reservoir)."""
+        if not self._delay_reservoir:
+            return 0.0
+        ordered = sorted(self._delay_reservoir)
+        index = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def utilization(self, capacity_bps: float, duration: float) -> float:
+        """Fraction of *duration* the transmitter was busy sending bits."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration)
+
+    def loss_rate(self) -> float:
+        """Fraction of arriving packets dropped at the queue."""
+        if self.arrived == 0:
+            return 0.0
+        return self.dropped / self.arrived
+
+
+class Link:
+    """A unidirectional, capacity-limited link.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    capacity_bps:
+        Transmission rate in bits per second.
+    delay:
+        Propagation delay in seconds, applied after serialization.
+    queue:
+        Queue discipline governing the output buffer.  The link calls
+        ``queue.enqueue`` on arrival and ``queue.dequeue`` when the
+        transmitter frees up.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bps: float,
+        delay: float,
+        queue: QueueDiscipline,
+        name: str = "link",
+        next_link: Optional["Link"] = None,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity_bps must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.capacity_bps = capacity_bps
+        self.delay = delay
+        self.queue = queue
+        self.name = name
+        self.stats = LinkStats()
+        self.busy = False
+        self.next_link = next_link
+        self._taps: List[Tap] = []
+        self._delivery_taps: List[Tap] = []
+        queue.attach(self)
+
+    # ------------------------------------------------------------------
+    # Taps: passive observers of traffic entering the link (e.g. the TAQ
+    # tracker watching the reverse ACK path).
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: Tap) -> None:
+        """Register *tap(packet, now)*, called for every arriving packet
+        (before the queue gets a chance to drop it)."""
+        self._taps.append(tap)
+
+    def add_delivery_tap(self, tap: Tap) -> None:
+        """Register *tap(packet, now)*, called for every packet actually
+        delivered out the far end (post-queue, post-propagation) —
+        what per-flow goodput metrics measure."""
+        self._delivery_taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer *packet* to the link.  Returns False if the queue dropped it."""
+        now = self.sim.now
+        self.stats.arrived += 1
+        for tap in self._taps:
+            tap(packet, now)
+        packet.enqueued_at = now
+        if not self.queue.enqueue(packet, now):
+            self.stats.dropped += 1
+            return False
+        if not self.busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self.busy = False
+            return
+        self.stats.note_queue_delay(self.sim.now - packet.enqueued_at)
+        self.busy = True
+        tx_time = packet.size * 8.0 / self.capacity_bps
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._transmission_done, (packet,))
+
+    def _transmission_done(self, packet: Packet) -> None:
+        total_delay = self.delay + packet.extra_delay
+        self.sim.schedule(total_delay, self._deliver, (packet,))
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.size
+        for tap in self._delivery_taps:
+            tap(packet, self.sim.now)
+        if self.next_link is not None:
+            # Chained hop (e.g. LAN ingress feeding the bottleneck).
+            self.next_link.send(packet)
+        elif packet.dst is not None:
+            packet.dst.receive(packet, self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.capacity_bps/1000:.0f}Kbps {self.delay*1000:.0f}ms>"

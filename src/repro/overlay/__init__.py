@@ -1,0 +1,30 @@
+"""OverQoS-style overlay deployment substrate (§4.4).
+
+The paper's deployment discussion: if the TAQ middleboxes are overlay
+nodes whose inter-node traffic crosses links with unpredictable
+cross-traffic losses, TAQ loses control over *which* packets die — and
+"unless we have control over which packets are dropped at the
+middleboxes, it becomes fundamentally hard to provide any form of
+quality of service".  The prescribed fix is to run TAQ on top of a
+system like OverQoS [Subramanian et al., NSDI'04], which turns a lossy
+underlay into a *controlled-loss virtual link*.
+
+This package builds that stack:
+
+- :class:`~repro.overlay.lossy.LossyLink` — an underlay link whose
+  deliveries suffer random cross-traffic loss;
+- :class:`~repro.overlay.tunnel.ArqTunnel` — a reliable virtual link
+  between two overlay nodes: entry-side buffering, exit-side dedup and
+  acks, timeout-driven retransmission (an ARQ realization of OverQoS's
+  controlled-loss abstraction);
+- :class:`~repro.overlay.topology.OverlayDumbbell` — the dumbbell with
+  the bottleneck realized as TAQ-queue -> virtual link -> receivers,
+  switchable between *clean* (no underlay loss), *raw* (lossy underlay,
+  no tunnel) and *overlay* (lossy underlay behind the tunnel) modes.
+"""
+
+from repro.overlay.lossy import LossyLink
+from repro.overlay.tunnel import ArqTunnel
+from repro.overlay.topology import OverlayDumbbell
+
+__all__ = ["LossyLink", "ArqTunnel", "OverlayDumbbell"]

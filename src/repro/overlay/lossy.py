@@ -1,0 +1,53 @@
+"""A link with random cross-traffic loss.
+
+Models an underlay path between overlay nodes that carries competing
+traffic the middlebox cannot see: a fraction of delivered packets
+simply vanish, independent of the middlebox's queue decisions.  The
+loss is applied at the delivery end (the packets did consume link
+capacity — as real cross-traffic collisions do).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.queues.base import QueueDiscipline
+from repro.sim.simulator import Simulator
+
+
+class LossyLink(Link):
+    """A link whose deliveries are lost with probability ``loss_rate``.
+
+    Parameters
+    ----------
+    loss_rate:
+        Independent per-packet delivery-loss probability.
+    rng:
+        Random stream for the loss coin (named, reproducible).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bps: float,
+        delay: float,
+        queue: QueueDiscipline,
+        loss_rate: float,
+        rng: random.Random,
+        name: str = "lossy-link",
+        next_link=None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        super().__init__(sim, capacity_bps, delay, queue, name=name, next_link=next_link)
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.cross_traffic_losses = 0
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.cross_traffic_losses += 1
+            return  # vanished to cross traffic; capacity already spent
+        super()._deliver(packet)

@@ -1,0 +1,161 @@
+"""A reliable ARQ tunnel between two overlay nodes.
+
+The entry node tags each packet with a tunnel sequence number and keeps
+a copy; the exit node deduplicates, forwards to the packet's real
+destination, and returns a cumulative-ish tunnel ack over the reverse
+underlay.  Unacked packets are retransmitted after a timeout.  The
+result is the controlled-loss virtual link TAQ needs (§4.4): residual
+loss is (nearly) zero, so the only place packets die is the TAQ queue
+*in front of* the tunnel — under the middlebox's control.
+
+The tunnel deliberately does not reorder-protect: duplicate suppression
+plus TCP's own resequencing handle the rest, and keeping the tunnel
+simple mirrors OverQoS's design point (bounded loss, not full
+reliability ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.link import Link
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+TUNNEL_ACK = "tunnel-ack"
+
+
+class _TunnelExit:
+    """Receives tunneled packets: dedup, forward, ack."""
+
+    def __init__(self, tunnel: "ArqTunnel") -> None:
+        self.tunnel = tunnel
+        self.seen: set = set()
+        self.forwarded = 0
+        self.duplicates = 0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        if packet.kind == TUNNEL_ACK:
+            return  # not ours (acks go the other way)
+        seq = packet.tunnel_seq
+        self.tunnel._send_tunnel_ack(seq)
+        if seq in self.seen:
+            self.duplicates += 1
+            return
+        self.seen.add(seq)
+        self.forwarded += 1
+        destination = self.tunnel._destinations.pop(seq, None)
+        if destination is not None:
+            destination.receive(packet, now)
+
+
+class _TunnelEntry:
+    """The node object the entry-side underlay delivers acks to."""
+
+    def __init__(self, tunnel: "ArqTunnel") -> None:
+        self.tunnel = tunnel
+
+    def receive(self, packet: Packet, now: float) -> None:
+        if packet.kind == TUNNEL_ACK:
+            self.tunnel._on_tunnel_ack(packet.ack_seq)
+
+
+class ArqTunnel:
+    """Reliable virtual link over a lossy underlay pair.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    underlay_forward:
+        Link carrying tunneled data (typically a
+        :class:`~repro.overlay.lossy.LossyLink`).
+    underlay_reverse:
+        Link carrying tunnel acks back (may also be lossy).
+    retransmit_timeout:
+        How long the entry waits for a tunnel ack before resending.
+    max_retransmits:
+        Give-up bound per packet (residual loss is then possible but
+        rare: ``loss^(max_retransmits+1)``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        underlay_forward: Link,
+        underlay_reverse: Link,
+        retransmit_timeout: float = 0.1,
+        max_retransmits: int = 5,
+    ) -> None:
+        self.sim = sim
+        self.forward = underlay_forward
+        self.reverse = underlay_reverse
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self.exit_node = _TunnelExit(self)
+        self.entry_node = _TunnelEntry(self)
+        self._next_seq = 0
+        self._pending: Dict[int, Packet] = {}
+        self._timers: Dict[int, Event] = {}
+        self._attempts: Dict[int, int] = {}
+        self._destinations: Dict[int, object] = {}
+        self.retransmissions = 0
+        self.given_up = 0
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Entry point: tunnel *packet* toward its destination."""
+        seq = self._next_seq
+        self._next_seq += 1
+        packet.tunnel_seq = seq
+        self._destinations[seq] = packet.dst
+        packet.dst = self.exit_node
+        self._pending[seq] = packet
+        self._attempts[seq] = 0
+        self._transmit(seq)
+        return True
+
+    def _transmit(self, seq: int) -> None:
+        packet = self._pending.get(seq)
+        if packet is None:
+            return
+        self.forward.send(packet)
+        # Exponential backoff per packet: a timeout that races the
+        # tunnel's own round trip must not snowball into a storm.
+        timeout = self.retransmit_timeout * (1.5 ** self._attempts.get(seq, 0))
+        self._timers[seq] = self.sim.schedule(timeout, self._on_timeout, (seq,))
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self._pending:
+            return
+        self._attempts[seq] += 1
+        if self._attempts[seq] > self.max_retransmits:
+            # Stop retransmitting, but keep the destination mapping: a
+            # copy may still be in flight (give-up usually means the
+            # *acks* kept dying, not the data).
+            self.given_up += 1
+            self._forget(seq)
+            return
+        self.retransmissions += 1
+        self._transmit(seq)
+
+    def _send_tunnel_ack(self, seq: int) -> None:
+        ack = Packet(-1, TUNNEL_ACK, ack_seq=seq, size=HEADER_BYTES)
+        ack.dst = self.entry_node
+        self.reverse.send(ack)
+
+    def _on_tunnel_ack(self, seq: int) -> None:
+        self._forget(seq)
+
+    def _forget(self, seq: int) -> None:
+        self._pending.pop(seq, None)
+        self._attempts.pop(seq, None)
+        timer = self._timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,16 @@
+"""Queue disciplines.
+
+The paper compares TAQ against the queueing mechanisms deployed in
+practice: plain tail-drop (DropTail), Random Early Detection (RED) and
+Stochastic Fair Queueing (SFQ).  All three are implemented here behind
+the common :class:`~repro.queues.base.QueueDiscipline` interface; TAQ
+itself lives in :mod:`repro.core` because it is the paper's
+contribution rather than a baseline.
+"""
+
+from repro.queues.base import QueueDiscipline
+from repro.queues.droptail import DropTailQueue
+from repro.queues.red import REDQueue
+from repro.queues.sfq import SFQQueue
+
+__all__ = ["QueueDiscipline", "DropTailQueue", "REDQueue", "SFQQueue"]

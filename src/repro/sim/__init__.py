@@ -1,0 +1,22 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the minimal, fast machinery every experiment in
+the reproduction is built on:
+
+- :class:`~repro.sim.simulator.Simulator` — an event-heap driven clock
+  with cancellable timers,
+- :class:`~repro.sim.events.Event` — a scheduled callback handle,
+- :class:`~repro.sim.rng.RngRegistry` — named, independently seeded
+  random streams so that experiments are reproducible bit-for-bit.
+
+The engine is deliberately simulator-framework-free: events are plain
+callbacks, time is a float in seconds, and there is no process /
+coroutine abstraction.  Packet-level network semantics live one layer up
+in :mod:`repro.net`.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+
+__all__ = ["Event", "EventQueue", "RngRegistry", "Simulator"]

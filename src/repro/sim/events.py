@@ -1,0 +1,99 @@
+"""Event handles and the event queue backing the simulator.
+
+Events are ordered by ``(time, sequence)``: the sequence number is a
+monotonically increasing tie-breaker, which gives deterministic FIFO
+ordering for events scheduled at the same instant.  Cancellation is
+lazy — a cancelled event stays in the heap and is discarded when popped,
+which keeps both :meth:`EventQueue.push` and cancellation O(log n) /
+O(1) respectively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`repro.sim.simulator.Simulator.schedule`
+    and can be cancelled at any point before they fire.  After an event
+    has fired or been cancelled, cancelling again is a no-op.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name} [{state}]>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_next_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._next_seq = 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule *callback(\\*args)* at absolute *time* and return its handle."""
+        event = Event(time, self._next_seq, callback, args)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        Cancelled events encountered on the way are discarded.
+        """
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events.  O(n); intended for tests."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,25 @@
+"""TCP endpoints.
+
+A from-scratch TCP implementation sufficient to reproduce the paper's
+small-packet-regime dynamics:
+
+- :class:`~repro.tcp.rto.RtoEstimator` — RFC 6298 retransmission timer
+  with Karn's algorithm and exponential backoff,
+- :class:`~repro.tcp.sender.TCPSender` — slow start, congestion
+  avoidance, fast retransmit, NewReno fast recovery, optional SACK
+  scoreboard recovery, retransmission timeouts with backoff,
+- :class:`~repro.tcp.receiver.TCPReceiver` — immediate cumulative ACKs
+  (the paper disables delayed ACKs), optional SACK blocks,
+- :class:`~repro.tcp.flow.TcpFlow` — connection lifecycle glue
+  (SYN handshake, data transfer, completion accounting) wired onto a
+  :class:`~repro.net.topology.Dumbbell`.
+
+Sequence numbers are in segments (see :mod:`repro.net.packet`).
+"""
+
+from repro.tcp.flow import TcpFlow
+from repro.tcp.receiver import TCPReceiver
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.sender import SenderStats, TCPSender
+
+__all__ = ["TcpFlow", "TCPReceiver", "RtoEstimator", "SenderStats", "TCPSender"]

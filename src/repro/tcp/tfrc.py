@@ -1,0 +1,315 @@
+"""TFRC — TCP-Friendly Rate Control (RFC 5348, simplified).
+
+The paper's introduction singles out TFRC's throughput equation as the
+embodiment of the assumption small packet regimes break: the
+TCP-friendly rate ``sqrt(3/2) / (RTT sqrt(p))`` is *always* at least
+~1.2 packets per RTT, so an equation-based sender keeps pushing packets
+into a link that cannot give every flow even one packet per RTT.  §2.3
+then claims TFRC does not escape the regime's pathologies.  This module
+implements enough of TFRC to test that claim:
+
+Sender (:class:`TfrcSender`):
+
+- paces packets at rate ``X`` (no window);
+- on each feedback packet, samples the RTT from the echoed timestamp
+  and recomputes ``X`` from the RFC 5348 throughput equation
+  ``X = s / (R sqrt(2bp/3) + t_RTO (3 sqrt(3bp/8)) p (1 + 32 p^2))``
+  with ``b = 1``, ``t_RTO = 4R``, capped at twice the receive rate;
+- doubles the rate per feedback while no loss has been seen (slow
+  start), also capped at twice the receive rate;
+- halves the rate on a no-feedback timer of ``4R``.
+
+Receiver (:class:`TfrcReceiver`):
+
+- detects loss events from sequence gaps, coalescing losses within one
+  RTT into a single event (the loss-*event* rate, not packet-loss rate);
+- maintains the RFC's weighted average of the last 8 loss intervals;
+- sends one feedback packet per RTT carrying ``p``, the receive rate,
+  and the echo timestamp.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import ACK, DATA, HEADER_BYTES, Packet
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+#: RFC 5348 weights for the last 8 loss intervals (newest first).
+LOSS_INTERVAL_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+
+def tfrc_throughput(s_bytes: int, rtt: float, p: float) -> float:
+    """RFC 5348 eq. (1): X in bytes/second for loss-event rate *p*."""
+    if p <= 0:
+        return float("inf")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    t_rto = 4.0 * rtt
+    root = math.sqrt(2.0 * p / 3.0)
+    denominator = rtt * root + t_rto * (3.0 * math.sqrt(3.0 * p / 8.0)) * p * (
+        1.0 + 32.0 * p * p
+    )
+    return s_bytes / denominator
+
+
+class LossHistory:
+    """The receiver's loss-interval bookkeeping."""
+
+    def __init__(self, max_intervals: int = 8) -> None:
+        self.max_intervals = max_intervals
+        #: Closed intervals, newest first (packet counts between events).
+        self.intervals: Deque[int] = deque(maxlen=max_intervals)
+        self.current_interval = 0
+        self.last_event_time: Optional[float] = None
+
+    def packet_received(self) -> None:
+        self.current_interval += 1
+
+    def loss_event(self, now: float, rtt: float) -> bool:
+        """Record a loss; returns True if it opened a *new* loss event
+        (losses within one RTT of the previous event coalesce)."""
+        if self.last_event_time is not None and now - self.last_event_time < rtt:
+            return False
+        self.last_event_time = now
+        self.intervals.appendleft(max(1, self.current_interval))
+        self.current_interval = 0
+        return True
+
+    def loss_event_rate(self) -> float:
+        """RFC 5348 weighted average loss-event rate (0 if no events).
+
+        The open (current) interval is counted when doing so *lowers*
+        the rate, per the RFC's history discounting.
+        """
+        if not self.intervals:
+            return 0.0
+
+        def weighted(intervals: List[int]) -> float:
+            weights = LOSS_INTERVAL_WEIGHTS[: len(intervals)]
+            total = sum(i * w for i, w in zip(intervals, weights))
+            return total / sum(weights)
+
+        closed = list(self.intervals)
+        mean_closed = weighted(closed)
+        mean_with_open = weighted([self.current_interval] + closed[:-1])
+        return 1.0 / max(1.0, max(mean_closed, mean_with_open))
+
+
+class TfrcReceiver:
+    """Receiver half: loss-event tracking + once-per-RTT feedback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        send: Callable[[Packet], None],
+        rtt_hint: float = 0.2,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send = send
+        self.rtt = rtt_hint
+        self.history = LossHistory()
+        self.highest_seq = -1
+        self.packets_received = 0
+        self.bytes_since_feedback = 0
+        self.last_sent_at = 0.0
+        self._feedback_timer: Optional[Event] = None
+        self.feedback_sent = 0
+        self.on_delivery: Optional[Callable[[int, float], None]] = None
+
+    def receive(self, packet: Packet, now: float) -> None:
+        if packet.kind != DATA:
+            return
+        self.packets_received += 1
+        self.bytes_since_feedback += packet.size
+        self.last_sent_at = packet.sent_at
+        if packet.seq > self.highest_seq + 1:
+            self.history.loss_event(now, self.rtt)
+        self.history.packet_received()
+        self.highest_seq = max(self.highest_seq, packet.seq)
+        if self.on_delivery is not None:
+            self.on_delivery(self.packets_received, now)
+        if self._feedback_timer is None or not self._feedback_timer.pending:
+            self._feedback_timer = self.sim.schedule(self.rtt, self._send_feedback)
+
+    def _send_feedback(self) -> None:
+        elapsed = max(self.rtt, 1e-9)
+        recv_rate = self.bytes_since_feedback / elapsed
+        feedback = Packet(
+            self.flow_id,
+            ACK,
+            ack_seq=self.highest_seq + 1,
+            size=HEADER_BYTES,
+        )
+        feedback.fb_loss_rate = self.history.loss_event_rate()
+        feedback.fb_recv_rate = recv_rate
+        feedback.fb_echo = self.last_sent_at
+        self.bytes_since_feedback = 0
+        self.feedback_sent += 1
+        self._send(feedback)
+
+
+class TfrcSender:
+    """Sender half: equation-driven rate pacing."""
+
+    #: Minimum sending rate: one packet per 64 seconds (RFC's t_mbi).
+    T_MBI = 64.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        transmit: Callable[[Packet], None],
+        mss: int = 500,
+        total_segments: Optional[int] = None,
+        rtt_hint: float = 0.2,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self._transmit = transmit
+        self.mss = mss
+        self.total_segments = total_segments
+        self.rtt = rtt_hint
+        self.on_complete = on_complete
+        self.rate_bytes = mss / rtt_hint  # initial: one packet per RTT
+        self.loss_rate_seen = 0.0
+        self.recv_rate = 0.0
+        self.next_seq = 0
+        self.started = False
+        self.completed_at: Optional[float] = None
+        self.feedback_received = 0
+        self._send_timer: Optional[Event] = None
+        self._no_feedback_timer: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._schedule_next_send(0.0)
+        self._restart_no_feedback_timer()
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def _schedule_next_send(self, delay: float) -> None:
+        self._send_timer = self.sim.schedule(delay, self._send_one)
+
+    def _send_one(self) -> None:
+        if self.done:
+            return
+        if self.total_segments is not None and self.next_seq >= self.total_segments:
+            return
+        packet = Packet(self.flow_id, DATA, seq=self.next_seq, size=self.mss)
+        packet.sent_at = self.sim.now
+        self.next_seq += 1
+        self._transmit(packet)
+        interval = self.mss / max(self.rate_bytes, self.mss / self.T_MBI)
+        self._schedule_next_send(interval)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, now: float) -> None:
+        """Consume a feedback packet."""
+        if packet.fb_loss_rate is None:
+            return
+        self.feedback_received += 1
+        if packet.fb_echo:
+            sample = now - packet.fb_echo
+            if sample > 0:
+                self.rtt += 0.25 * (sample - self.rtt)
+        self.loss_rate_seen = packet.fb_loss_rate
+        self.recv_rate = packet.fb_recv_rate or 0.0
+        if self.loss_rate_seen > 0:
+            equation = tfrc_throughput(self.mss, self.rtt, self.loss_rate_seen)
+            ceiling = max(2.0 * self.recv_rate, self.mss / self.T_MBI)
+            self.rate_bytes = max(self.mss / self.T_MBI, min(equation, ceiling))
+        else:
+            # Slow start: double per feedback, capped by the receiver.
+            ceiling = max(2.0 * self.recv_rate, self.mss / self.rtt)
+            self.rate_bytes = min(2.0 * self.rate_bytes, ceiling)
+        self._restart_no_feedback_timer()
+        if (
+            self.total_segments is not None
+            and packet.ack_seq >= self.total_segments
+            and not self.done
+        ):
+            self.completed_at = now
+            if self.on_complete is not None:
+                self.on_complete(now)
+
+    def _restart_no_feedback_timer(self) -> None:
+        if self._no_feedback_timer is not None:
+            self._no_feedback_timer.cancel()
+        self._no_feedback_timer = self.sim.schedule(
+            max(4.0 * self.rtt, 2.0 * self.mss / max(self.rate_bytes, 1e-9)),
+            self._on_no_feedback,
+        )
+
+    def _on_no_feedback(self) -> None:
+        # RFC 5348 §4.4: halve the allowed rate.
+        self.rate_bytes = max(self.mss / self.T_MBI, self.rate_bytes / 2.0)
+        self._restart_no_feedback_timer()
+
+
+class TfrcFlow:
+    """Glue: a TFRC sender/receiver pair on a dumbbell (mirrors TcpFlow)."""
+
+    def __init__(
+        self,
+        dumbbell,
+        flow_id: int,
+        size_segments: Optional[int] = None,
+        start_time: float = 0.0,
+        extra_rtt: float = 0.0,
+        mss: Optional[int] = None,
+    ) -> None:
+        self.dumbbell = dumbbell
+        self.flow_id = flow_id
+        self.size_segments = size_segments
+        self.start_time = start_time
+        self.extra_rtt = extra_rtt
+        self.mss = mss if mss is not None else dumbbell.pkt_size
+        self.completed_at: Optional[float] = None
+        rtt_hint = dumbbell.base_rtt + extra_rtt
+        self.sender = TfrcSender(
+            dumbbell.sim,
+            flow_id,
+            transmit=self._send_data_path,
+            mss=self.mss,
+            total_segments=size_segments,
+            rtt_hint=rtt_hint,
+            on_complete=self._on_complete,
+        )
+        self.receiver = TfrcReceiver(
+            dumbbell.sim,
+            flow_id,
+            send=self._send_ack_path,
+            rtt_hint=rtt_hint,
+        )
+        dumbbell.sender_host.bind_sender(flow_id, self.sender)
+        dumbbell.receiver_host.bind_receiver(flow_id, self.receiver)
+        dumbbell.sim.schedule_at(start_time, self.sender.open)
+
+    def _send_data_path(self, packet: Packet) -> None:
+        packet.dst = self.dumbbell.receiver_host
+        packet.extra_delay = self.extra_rtt / 2.0
+        self.dumbbell.data_entry.send(packet)
+
+    def _send_ack_path(self, packet: Packet) -> None:
+        packet.dst = self.dumbbell.sender_host
+        packet.extra_delay = self.extra_rtt / 2.0
+        self.dumbbell.ack_entry.send(packet)
+
+    def _on_complete(self, now: float) -> None:
+        self.completed_at = now
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None

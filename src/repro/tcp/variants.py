@@ -1,0 +1,163 @@
+"""TCP congestion-control variants.
+
+§2.3 of the paper claims that *none* of the standard TCP variants help
+in the sub-packet regime — the breakdown is caused by the loss-recovery
+machinery (3 dupACKs, RTO backoff) that all of them share, not by the
+window-growth law.  To let the experiments demonstrate that, this
+module implements the variants the paper names on top of
+:class:`~repro.tcp.sender.TCPSender`:
+
+- :class:`TahoeSender` — no fast recovery: every loss detection (even
+  via dupACKs) collapses the window to 1 and slow-starts;
+- :class:`CubicSender` — CUBIC's time-based cubic window growth with
+  fast convergence (the variant modern stacks deploy; the paper's
+  regime definition references its initial window of 10);
+- :data:`VARIANTS` — a registry so workloads/experiments can be
+  parameterized by name ("newreno", "sack", "tahoe", "cubic").
+
+TFRC, being rate-based rather than window-based, lives in its own
+module (:mod:`repro.tcp.tfrc`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.tcp.sender import TCPSender
+
+
+class TahoeSender(TCPSender):
+    """TCP Tahoe: fast retransmit but no fast recovery.
+
+    On the third dupACK the segment is retransmitted and the window
+    collapses to 1 (slow start), as in the original Tahoe.  Timeout
+    behaviour is unchanged.
+    """
+
+    def _fast_retransmit(self, now: float) -> None:
+        self.stats.fast_retransmits += 1
+        self.ssthresh = max(self._pipe() / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+        self._recovery_retx.clear()
+        # Remember how far we had sent: dupACKs for this same loss burst
+        # (including those caused by our own go-back-N duplicates) must
+        # not re-trigger fast retransmit.
+        self.recover = self.snd_next - 1
+        # Slow-start go-back-N, exactly like a timeout but without the
+        # RTO backoff (the loss was detected by dupACKs).
+        self.snd_next = self.snd_una
+        self._send_segment(self.snd_una, retransmit=True)
+        self.snd_next = self.snd_una + 1
+        self._restart_timer()
+
+    def _on_dupack(self, now: float) -> None:
+        if self.snd_una <= self.recover:
+            self.dupacks += 1  # still recovering from the last collapse
+            return
+        super()._on_dupack(now)
+
+
+class CubicSender(TCPSender):
+    """TCP CUBIC (simplified, RFC 8312 shape).
+
+    The congestion window grows as ``W(t) = C (t - K)^3 + W_max`` where
+    ``t`` is the time since the last window reduction,
+    ``K = ((W_max * beta) / C)^(1/3)``, ``beta = 0.3`` (multiplicative
+    decrease 0.7) and ``C = 0.4``.  Loss recovery (fast retransmit,
+    NewReno/SACK recovery, timeouts) is inherited unchanged — which is
+    the paper's point: in small packet regimes the growth law above is
+    irrelevant because flows never leave the recovery machinery.
+    """
+
+    C = 0.4
+    BETA = 0.3  # fraction removed on loss; multiplicative decrease 1-BETA
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("initial_cwnd", 10.0)  # modern IW10
+        super().__init__(*args, **kwargs)
+        self._w_max = self.cwnd
+        self._epoch_start: float = -1.0
+
+    # -- cubic window law ----------------------------------------------
+    def _cubic_window(self, now: float) -> float:
+        if self._epoch_start < 0:
+            self._epoch_start = now
+        t = now - self._epoch_start
+        k = ((self._w_max * self.BETA) / self.C) ** (1.0 / 3.0)
+        return self.C * (t - k) ** 3 + self._w_max
+
+    def _on_new_ack(self, ack_seq: int, now: float) -> None:
+        in_recovery_before = self.in_recovery
+        cwnd_before = self.cwnd
+        ssthresh_before = self.ssthresh
+        super()._on_new_ack(ack_seq, now)
+        if self.state != "established" or self.in_recovery or in_recovery_before:
+            return
+        if cwnd_before < ssthresh_before:
+            return  # slow start growth from the base class stands
+        # Replace the base class's AIMD increment with the cubic target.
+        target = self._cubic_window(now)
+        self.cwnd = max(cwnd_before, min(target, cwnd_before + 1.0))
+        if self.max_cwnd is not None:
+            self.cwnd = min(self.cwnd, self.max_cwnd)
+
+    # -- reductions start a new cubic epoch ------------------------------
+    def _fast_retransmit(self, now: float) -> None:
+        self._note_reduction()
+        super()._fast_retransmit(now)
+        self.ssthresh = max(self.cwnd * (1.0 - self.BETA), 2.0)
+        self.cwnd = max(self.ssthresh, 2.0)
+
+    def _on_timeout(self) -> None:
+        self._note_reduction()
+        super()._on_timeout()
+
+    def _note_reduction(self) -> None:
+        # Fast convergence: release bandwidth faster when the window
+        # stopped below the previous maximum.
+        if self.cwnd < self._w_max:
+            self._w_max = self.cwnd * (2.0 - self.BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self._epoch_start = self.sim.now
+
+
+def _make_newreno(*args, **kwargs) -> TCPSender:
+    kwargs.pop("sack", None)
+    return TCPSender(*args, sack=False, **kwargs)
+
+
+def _make_sack(*args, **kwargs) -> TCPSender:
+    kwargs.pop("sack", None)
+    return TCPSender(*args, sack=True, **kwargs)
+
+
+def _make_tahoe(*args, **kwargs) -> TCPSender:
+    kwargs.pop("sack", None)
+    return TahoeSender(*args, sack=False, **kwargs)
+
+
+def _make_cubic(*args, **kwargs) -> TCPSender:
+    kwargs.pop("sack", None)
+    return CubicSender(*args, sack=False, **kwargs)
+
+
+def _make_spr(*args, **kwargs) -> TCPSender:
+    from repro.tcp.spr import SprSender
+
+    kwargs.pop("sack", None)
+    return SprSender(*args, sack=False, **kwargs)
+
+
+#: Sender factories by variant name (receiver SACK is matched by TcpFlow).
+#: "spr" is this reproduction's future-work end-host mechanism
+#: (:mod:`repro.tcp.spr`), not a paper variant.
+VARIANTS: Dict[str, Callable[..., TCPSender]] = {
+    "newreno": _make_newreno,
+    "sack": _make_sack,
+    "tahoe": _make_tahoe,
+    "cubic": _make_cubic,
+    "spr": _make_spr,
+}

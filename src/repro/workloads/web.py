@@ -1,0 +1,177 @@
+"""Web-session users: pools of parallel connections draining objects.
+
+A :class:`WebUser` models one browser: a *flow pool* (§4.3) of up to
+``connections`` simultaneous TCP connections fetching a queue of
+objects as fast as possible ("request objects as soon as possible
+rather than the logged request time", §5.5).  Every connection carries
+the user's ``pool_id``, which is what TAQ's admission controller keys
+on; a refused SYN is simply retried by TCP, reproducing the paper's
+retry-until-admitted clients, and the wait shows up in the object's
+download time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence
+
+from repro.metrics.downloads import DownloadSample
+from repro.net.topology import Dumbbell
+from repro.tcp.flow import TcpFlow
+
+
+class WebUser:
+    """One browser session: a pool of connections and an object queue.
+
+    Parameters
+    ----------
+    dumbbell:
+        Topology to fetch across.
+    user_id:
+        Doubles as the flow pool id.
+    object_sizes_bytes:
+        Objects to fetch, in bytes; fetched in order, up to
+        ``connections`` at a time.
+    connections:
+        Pool size (the paper uses 4).
+    flow_ids:
+        Shared iterator handing out globally unique flow ids.
+    start_time:
+        Session start.
+    think_time:
+        Pause between finishing one object and requesting the next on
+        the freed connection.
+    wait_feedback:
+        Optional :class:`~repro.core.admission.AdmissionController` to
+        consult before connecting (§4.3's visible wait queue: a
+        RuralCafe-style proxy telling the browser *when* to come back).
+        When the controller promises a wait, the user sleeps until the
+        promised time instead of blind-retrying SYNs.
+    """
+
+    def __init__(
+        self,
+        dumbbell: Dumbbell,
+        user_id: int,
+        object_sizes_bytes: Iterable[int],
+        flow_ids: Iterable[int],
+        connections: int = 4,
+        start_time: float = 0.0,
+        think_time: float = 0.0,
+        extra_rtt: float = 0.0,
+        wait_feedback=None,
+        **flow_kwargs,
+    ) -> None:
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        self.dumbbell = dumbbell
+        self.user_id = user_id
+        self.connections = connections
+        self.think_time = think_time
+        self.extra_rtt = extra_rtt
+        self.start_time = start_time
+        self.flow_kwargs = flow_kwargs
+        self._flow_ids = iter(flow_ids)
+        self.wait_feedback = wait_feedback
+        self.waits_observed = 0
+        self.pending: Deque[int] = deque(int(s) for s in object_sizes_bytes)
+        self.flows: List[TcpFlow] = []
+        self.samples: List[DownloadSample] = []
+        self._in_flight = 0
+        dumbbell.sim.schedule_at(start_time, self._fill_pool)
+
+    # ------------------------------------------------------------------
+    def _fill_pool(self) -> None:
+        if self.wait_feedback is not None and self.pending and self._in_flight == 0:
+            # Request admission first (the paper's proxy model: ask,
+            # get told the expected wait, come back then) — instead of
+            # hammering SYNs at a closed gate.
+            now = self.dumbbell.sim.now
+            if not self.wait_feedback.admits(self.user_id, now):
+                promised = max(
+                    0.1, self.wait_feedback.expected_wait(self.user_id, now)
+                )
+                self.waits_observed += 1
+                self.dumbbell.sim.schedule(promised + 0.01, self._fill_pool)
+                return
+        while self._in_flight < self.connections and self.pending:
+            self._launch(self.pending.popleft())
+
+    def _launch(self, size_bytes: int) -> None:
+        mss = self.dumbbell.pkt_size
+        segments = max(1, math.ceil(size_bytes / mss))
+        flow = TcpFlow(
+            self.dumbbell,
+            next(self._flow_ids),
+            size_segments=segments,
+            start_time=self.dumbbell.sim.now,
+            extra_rtt=self.extra_rtt,
+            pool_id=self.user_id,
+            record_deliveries=True,
+            **self.flow_kwargs,
+        )
+        flow.on_complete(lambda f, now, size=size_bytes: self._object_done(f, now, size))
+        self.flows.append(flow)
+        self._in_flight += 1
+
+    def _object_done(self, flow: TcpFlow, now: float, size_bytes: int) -> None:
+        self._in_flight -= 1
+        assert flow.download_time is not None
+        self.samples.append(DownloadSample(size_bytes, flow.download_time))
+        if self.pending:
+            self.dumbbell.sim.schedule(self.think_time, self._fill_pool)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.pending and self._in_flight == 0
+
+    def delivery_times(self) -> List[float]:
+        """Merged delivery timestamps across the pool (hang metrics)."""
+        times: List[float] = []
+        for flow in self.flows:
+            times.extend(t for t, _ in flow.delivery_log)
+        return sorted(times)
+
+
+def spawn_web_users(
+    dumbbell: Dumbbell,
+    n_users: int,
+    objects_per_user: int,
+    size_bytes: int = 10_000,
+    connections: int = 4,
+    start_window: float = 5.0,
+    rng_name: str = "web-starts",
+    first_flow_id: int = 0,
+    size_sampler=None,
+    **user_kwargs,
+) -> List[WebUser]:
+    """Create *n_users* sessions with homogeneous or sampled objects.
+
+    ``size_sampler(rng) -> bytes`` overrides the fixed *size_bytes*.
+    """
+    if n_users < 1:
+        raise ValueError("n_users must be >= 1")
+    rng = dumbbell.sim.rng.stream(rng_name)
+    flow_ids = itertools.count(first_flow_id)
+    users = []
+    for user_id in range(n_users):
+        if size_sampler is not None:
+            sizes: Sequence[int] = [size_sampler(rng) for _ in range(objects_per_user)]
+        else:
+            sizes = [size_bytes] * objects_per_user
+        users.append(
+            WebUser(
+                dumbbell,
+                user_id,
+                sizes,
+                flow_ids,
+                connections=connections,
+                start_time=rng.uniform(0.0, start_window),
+                extra_rtt=rng.uniform(0.0, 0.05),
+                **user_kwargs,
+            )
+        )
+    return users

@@ -1,0 +1,89 @@
+"""Stateful property tests of the admission controller.
+
+Random interleavings of traffic accounting, admission queries and time
+advances must preserve:
+
+- a pool, once admitted, stays admitted while it keeps talking
+  (§4.3: honoring commitments to admitted flow pools);
+- unpooled traffic (pool -1) is never refused;
+- the paced force-admission never admits more than one pool per
+  ``t_wait`` while the loss gate is closed;
+- the loss estimate stays within [0, 1].
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.admission import AdmissionController
+
+
+class AdmissionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.controller = AdmissionController(
+            p_thresh=0.1, t_wait=3.0, measure_interval=1.0, pool_idle_timeout=1e9
+        )
+        self.now = 0.0
+        self.admitted_history = set()
+        self.force_admissions = []  # times
+
+    @rule(n=st.integers(min_value=1, max_value=50),
+          lossy=st.booleans())
+    def traffic(self, n, lossy):
+        for i in range(n):
+            self.controller.note_arrival(self.now)
+            if lossy and i % 3 == 0:
+                self.controller.note_drop(self.now)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=5.0))
+    def advance(self, dt):
+        self.now += dt
+        # Roll the measurement window.
+        self.controller.note_arrival(self.now)
+
+    @rule(pool=st.integers(min_value=1, max_value=5))
+    def ask(self, pool):
+        before_force = self.controller.force_admitted
+        admitted = self.controller.admits(pool, self.now)
+        if admitted:
+            self.admitted_history.add(pool)
+        if self.controller.force_admitted > before_force:
+            self.force_admissions.append(self.now)
+
+    @rule()
+    def ask_unpooled(self):
+        assert self.controller.admits(-1, self.now)
+
+    @precondition(lambda self: self.admitted_history)
+    @rule()
+    def admitted_pool_stays_admitted(self):
+        # Pools in our history that kept talking (idle timeout is huge
+        # here) must still be admitted.
+        for pool in self.admitted_history:
+            assert self.controller.admits(pool, self.now)
+
+    # -------------------------------------------------------- invariants
+    @invariant()
+    def loss_estimate_bounded(self):
+        assert 0.0 <= self.controller.loss_rate <= 1.0
+
+    @invariant()
+    def force_admissions_paced(self):
+        times = sorted(self.force_admissions)
+        for a, b in zip(times, times[1:]):
+            assert b - a >= self.controller.t_wait - 1e-9
+
+    @invariant()
+    def waiting_and_admitted_disjoint(self):
+        assert not (
+            set(self.controller.waiting) & set(self.controller.admitted)
+        )
+
+
+AdmissionMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+TestAdmissionStateful = AdmissionMachine.TestCase

@@ -1,0 +1,101 @@
+"""Unit tests for the Fig 7 state classifier."""
+
+import pytest
+
+from repro.core.classifier import EpochObservation, classify_epoch
+from repro.core.states import FlowState
+
+
+def obs(**kwargs):
+    return EpochObservation(**kwargs)
+
+
+def test_growth_keeps_slow_start():
+    state = classify_epoch(
+        FlowState.SLOW_START, obs(new_packets=8, prev_new_packets=4)
+    )
+    assert state == FlowState.SLOW_START
+
+
+def test_flat_growth_is_normal():
+    state = classify_epoch(
+        FlowState.SLOW_START, obs(new_packets=4, prev_new_packets=4)
+    )
+    assert state == FlowState.NORMAL
+
+
+def test_small_linear_growth_is_normal():
+    state = classify_epoch(
+        FlowState.NORMAL, obs(new_packets=5, prev_new_packets=4)
+    )
+    assert state == FlowState.NORMAL
+
+
+def test_drop_moves_to_loss_recovery():
+    state = classify_epoch(FlowState.NORMAL, obs(new_packets=3, drops=1))
+    assert state == FlowState.LOSS_RECOVERY
+
+
+def test_retransmissions_mean_loss_recovery():
+    state = classify_epoch(FlowState.NORMAL, obs(retransmissions=1, new_packets=0))
+    assert state == FlowState.LOSS_RECOVERY
+
+
+def test_silence_after_loss_is_timeout_silence():
+    state = classify_epoch(FlowState.LOSS_RECOVERY, obs(silent_epochs=1))
+    assert state == FlowState.TIMEOUT_SILENCE
+
+
+def test_retransmission_after_silence_is_timeout_recovery():
+    state = classify_epoch(
+        FlowState.TIMEOUT_SILENCE, obs(retransmissions=1)
+    )
+    assert state == FlowState.TIMEOUT_RECOVERY
+
+
+def test_prolonged_silence_is_extended():
+    state = classify_epoch(FlowState.TIMEOUT_SILENCE, obs(silent_epochs=2))
+    assert state == FlowState.EXTENDED_SILENCE
+    state = classify_epoch(FlowState.EXTENDED_SILENCE, obs(silent_epochs=5))
+    assert state == FlowState.EXTENDED_SILENCE
+
+
+def test_recovered_timeout_flow_enters_slow_start():
+    # Retransmissions got through; next epoch has only fresh data.
+    state = classify_epoch(
+        FlowState.TIMEOUT_RECOVERY, obs(new_packets=2, prev_new_packets=0)
+    )
+    assert state == FlowState.SLOW_START
+
+
+def test_silence_without_loss_history_is_dormant():
+    state = classify_epoch(FlowState.NORMAL, obs(silent_epochs=1))
+    assert state == FlowState.DORMANT
+    # Dormant flows stay dormant while silent.
+    assert classify_epoch(FlowState.DORMANT, obs(silent_epochs=4)) == FlowState.DORMANT
+
+
+def test_dormant_flow_waking_up_classifies_by_traffic():
+    state = classify_epoch(
+        FlowState.DORMANT, obs(new_packets=4, prev_new_packets=0)
+    )
+    assert state == FlowState.SLOW_START
+
+
+def test_outstanding_drops_keep_flow_in_recovery():
+    state = classify_epoch(
+        FlowState.LOSS_RECOVERY, obs(new_packets=1, outstanding_drops=1)
+    )
+    assert state == FlowState.LOSS_RECOVERY
+
+
+def test_silent_with_outstanding_drops_is_not_dormant():
+    state = classify_epoch(
+        FlowState.NORMAL, obs(silent_epochs=1, outstanding_drops=1)
+    )
+    assert state == FlowState.TIMEOUT_SILENCE
+
+
+def test_extended_silence_retransmission_is_timeout_recovery():
+    state = classify_epoch(FlowState.EXTENDED_SILENCE, obs(retransmissions=1))
+    assert state == FlowState.TIMEOUT_RECOVERY

@@ -1,0 +1,77 @@
+"""Unit tests for the §4.1 next-state predictor."""
+
+from repro.core.epoch import EpochEstimator
+from repro.core.prediction import Action, predict_next_state
+from repro.core.states import FlowState
+from repro.core.tracker import FlowRecord
+
+
+def make_record(state=FlowState.NORMAL, **fields):
+    record = FlowRecord(1, -1, 0.0, EpochEstimator())
+    record.state = state
+    for name, value in fields.items():
+        setattr(record, name, value)
+    return record
+
+
+def test_forward_is_always_safe():
+    for state in FlowState:
+        prediction = predict_next_state(make_record(state=state), Action.FORWARD)
+        assert prediction.safe
+
+
+def test_forward_keeps_normal_flow_active():
+    record = make_record(state=FlowState.NORMAL, new_packets=2, prev_new_packets=2)
+    prediction = predict_next_state(record, Action.FORWARD)
+    assert prediction.next_state in (FlowState.NORMAL, FlowState.SLOW_START)
+
+
+def test_drop_new_at_small_window_risks_timeout():
+    record = make_record(state=FlowState.NORMAL, new_packets=1, prev_new_packets=1)
+    prediction = predict_next_state(record, Action.DROP_NEW)
+    assert prediction.risks_timeout
+    assert prediction.next_state == FlowState.LOSS_RECOVERY
+
+
+def test_drop_new_at_large_window_is_recoverable():
+    record = make_record(state=FlowState.NORMAL, new_packets=8, prev_new_packets=8)
+    prediction = predict_next_state(record, Action.DROP_NEW)
+    assert not prediction.risks_timeout
+    assert prediction.next_state == FlowState.LOSS_RECOVERY
+
+
+def test_second_drop_in_epoch_risks_timeout_even_at_large_window():
+    record = make_record(
+        state=FlowState.LOSS_RECOVERY, new_packets=8, prev_new_packets=8, drops=1
+    )
+    prediction = predict_next_state(record, Action.DROP_NEW)
+    assert prediction.risks_timeout
+
+
+def test_drop_retransmission_always_risks_timeout():
+    record = make_record(state=FlowState.LOSS_RECOVERY)
+    prediction = predict_next_state(record, Action.DROP_RETRANSMISSION)
+    assert prediction.risks_timeout
+    assert prediction.next_state == FlowState.TIMEOUT_SILENCE
+
+
+def test_drop_retransmission_of_recovering_flow_risks_repetitive():
+    for state in (FlowState.TIMEOUT_RECOVERY, FlowState.EXTENDED_SILENCE):
+        record = make_record(state=state)
+        prediction = predict_next_state(record, Action.DROP_RETRANSMISSION)
+        assert prediction.risks_repetitive_timeout
+        assert prediction.next_state == FlowState.EXTENDED_SILENCE
+
+
+def test_drop_new_during_timeout_recovery_risks_repetitive():
+    record = make_record(
+        state=FlowState.TIMEOUT_RECOVERY, new_packets=1, prev_new_packets=0
+    )
+    prediction = predict_next_state(record, Action.DROP_NEW)
+    assert prediction.risks_repetitive_timeout
+
+
+def test_safe_property():
+    record = make_record(state=FlowState.NORMAL, new_packets=8, prev_new_packets=8)
+    assert predict_next_state(record, Action.FORWARD).safe
+    assert not predict_next_state(record, Action.DROP_RETRANSMISSION).safe

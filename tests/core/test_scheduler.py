@@ -1,0 +1,179 @@
+"""Unit tests for TAQ's multi-class scheduler."""
+
+import pytest
+
+from repro.core.scheduler import PacketClass, TAQScheduler
+from repro.net.packet import DATA, Packet
+
+
+def pkt(flow=1, seq=0):
+    return Packet(flow, DATA, seq=seq, size=500)
+
+
+def drain(sched, n=None):
+    out = []
+    while (p := sched.dequeue()) is not None:
+        out.append(p)
+        if n is not None and len(out) >= n:
+            break
+    return out
+
+
+def test_recovery_served_first():
+    sched = TAQScheduler(capacity_pkts=10)
+    below = pkt(seq=1)
+    recovery = pkt(seq=2)
+    sched.enqueue(below, PacketClass.BELOW_FAIR_SHARE)
+    sched.enqueue(recovery, PacketClass.RECOVERY, priority=1.0)
+    assert sched.dequeue() is recovery
+
+
+def test_recovery_ordered_by_silence_length():
+    sched = TAQScheduler(capacity_pkts=10)
+    short = pkt(seq=1)
+    long_ = pkt(seq=2)
+    sched.enqueue(short, PacketClass.RECOVERY, priority=0.5)
+    sched.enqueue(long_, PacketClass.RECOVERY, priority=10.0)
+    assert sched.dequeue() is long_
+    assert sched.dequeue() is short
+
+
+def test_recovery_service_capped_when_others_wait():
+    sched = TAQScheduler(capacity_pkts=200, recovery_service_share=0.25, service_window=8)
+    for i in range(50):
+        sched.enqueue(pkt(seq=i), PacketClass.RECOVERY, priority=1.0)
+        sched.enqueue(pkt(seq=100 + i), PacketClass.BELOW_FAIR_SHARE)
+    served = drain(sched, n=40)
+    recovery_share = sum(
+        1 for p in served if p.seq < 50
+    ) / len(served)
+    assert recovery_share <= 0.4  # capped near 0.25, not monopolizing
+
+
+def test_recovery_work_conserving_when_alone():
+    sched = TAQScheduler(capacity_pkts=10, recovery_service_share=0.1)
+    for i in range(5):
+        sched.enqueue(pkt(seq=i), PacketClass.RECOVERY, priority=1.0)
+    assert len(drain(sched)) == 5
+
+
+def test_above_share_served_last():
+    sched = TAQScheduler(capacity_pkts=10)
+    above = pkt(seq=1)
+    below = pkt(seq=2)
+    new = pkt(seq=3)
+    sched.enqueue(above, PacketClass.ABOVE_FAIR_SHARE)
+    sched.enqueue(below, PacketClass.BELOW_FAIR_SHARE)
+    sched.enqueue(new, PacketClass.NEW_FLOW)
+    order = drain(sched)
+    assert order[-1] is above
+
+
+def test_level2_longest_backlog_first():
+    sched = TAQScheduler(capacity_pkts=20)
+    for i in range(5):
+        sched.enqueue(pkt(seq=i), PacketClass.BELOW_FAIR_SHARE)
+    sched.enqueue(pkt(seq=100), PacketClass.OVER_PENALIZED)
+    first = sched.dequeue()
+    assert first.seq < 100  # below queue is longer, served first
+
+
+def test_new_flow_capacity_caps_connection_attempts():
+    from repro.net.packet import SYN
+
+    sched = TAQScheduler(capacity_pkts=100, new_flow_capacity=2)
+
+    def syn(flow):
+        return Packet(flow, SYN)
+
+    assert sched.enqueue(syn(1), PacketClass.NEW_FLOW, connection_attempt=True)[0]
+    assert sched.enqueue(syn(2), PacketClass.NEW_FLOW, connection_attempt=True)[0]
+    accepted, _ = sched.enqueue(syn(3), PacketClass.NEW_FLOW, connection_attempt=True)
+    assert not accepted
+    # Data of young flows is NOT capped.
+    assert sched.enqueue(pkt(seq=2), PacketClass.NEW_FLOW)[0]
+    # Serving a SYN frees an attempt slot.
+    served = sched.dequeue()
+    assert served.kind == SYN
+    assert sched.enqueue(syn(4), PacketClass.NEW_FLOW, connection_attempt=True)[0]
+
+
+def test_eviction_prefers_above_fair_share():
+    sched = TAQScheduler(capacity_pkts=2)
+    above = pkt(seq=1)
+    sched.enqueue(above, PacketClass.ABOVE_FAIR_SHARE)
+    sched.enqueue(pkt(seq=2), PacketClass.BELOW_FAIR_SHARE)
+    accepted, evicted = sched.enqueue(pkt(seq=3), PacketClass.RECOVERY, priority=1.0)
+    assert accepted
+    assert evicted is above
+
+
+def test_arriving_above_rejected_when_everything_outranks_it():
+    sched = TAQScheduler(capacity_pkts=2)
+    sched.enqueue(pkt(seq=1), PacketClass.RECOVERY, priority=1.0)
+    sched.enqueue(pkt(seq=2), PacketClass.BELOW_FAIR_SHARE)
+    accepted, evicted = sched.enqueue(pkt(seq=3), PacketClass.ABOVE_FAIR_SHARE)
+    assert not accepted
+    assert evicted is None
+
+
+def test_same_rank_eviction_steals_longest_queue():
+    sched = TAQScheduler(capacity_pkts=4)
+    for i in range(3):
+        sched.enqueue(pkt(seq=i), PacketClass.OVER_PENALIZED)
+    sched.enqueue(pkt(seq=10), PacketClass.BELOW_FAIR_SHARE)
+    accepted, evicted = sched.enqueue(pkt(seq=20), PacketClass.BELOW_FAIR_SHARE)
+    assert accepted
+    assert evicted is not None and evicted.seq < 3  # stolen from the long queue
+
+
+def test_own_longest_queue_rejects_arrival():
+    sched = TAQScheduler(capacity_pkts=3)
+    for i in range(3):
+        sched.enqueue(pkt(seq=i), PacketClass.BELOW_FAIR_SHARE)
+    accepted, evicted = sched.enqueue(pkt(seq=9), PacketClass.BELOW_FAIR_SHARE)
+    assert not accepted and evicted is None
+
+
+def test_recovery_eviction_only_for_higher_priority_recovery():
+    sched = TAQScheduler(capacity_pkts=2)
+    low = pkt(seq=1)
+    high = pkt(seq=2)
+    sched.enqueue(low, PacketClass.RECOVERY, priority=1.0)
+    sched.enqueue(high, PacketClass.RECOVERY, priority=5.0)
+    # Arriving with lower priority than everything buffered: rejected.
+    accepted, evicted = sched.enqueue(pkt(seq=3), PacketClass.RECOVERY, priority=0.5)
+    assert not accepted
+    # Arriving with higher priority than the lowest buffered: evicts it.
+    accepted, evicted = sched.enqueue(pkt(seq=4), PacketClass.RECOVERY, priority=9.0)
+    assert accepted
+    assert evicted is low
+
+
+def test_total_occupancy_respects_capacity():
+    sched = TAQScheduler(capacity_pkts=5)
+    for i in range(20):
+        sched.enqueue(pkt(seq=i), PacketClass.BELOW_FAIR_SHARE)
+    assert len(sched) <= 5
+
+
+def test_empty_dequeue_returns_none():
+    sched = TAQScheduler(capacity_pkts=5)
+    assert sched.dequeue() is None
+
+
+def test_stats_counters_consistent():
+    sched = TAQScheduler(capacity_pkts=3)
+    for i in range(6):
+        sched.enqueue(pkt(seq=i), PacketClass.BELOW_FAIR_SHARE)
+    drained = drain(sched)
+    stats = sched.stats[PacketClass.BELOW_FAIR_SHARE]
+    assert stats.enqueued == len(drained)
+    assert stats.enqueued + stats.dropped == 6
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TAQScheduler(capacity_pkts=0)
+    with pytest.raises(ValueError):
+        TAQScheduler(capacity_pkts=5, recovery_service_share=0.0)

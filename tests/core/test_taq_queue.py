@@ -1,0 +1,111 @@
+"""Integration tests for the assembled TAQ queue discipline."""
+
+import pytest
+
+from repro.core import AdmissionController, TAQQueue
+from repro.core.scheduler import PacketClass
+from repro.net.packet import DATA, SYN, Packet
+
+
+def data(flow=1, seq=0, pool=-1):
+    return Packet(flow, DATA, seq=seq, size=500, pool_id=pool)
+
+
+def syn(flow=1, pool=-1):
+    return Packet(flow, SYN, pool_id=pool)
+
+
+def test_for_link_sizes_buffer_like_paper():
+    q = TAQQueue.for_link(1_000_000, rtt=0.2, pkt_size=500)
+    assert q.capacity_pkts == 50
+    assert q.tracker.default_epoch == 0.2
+
+
+def test_basic_fifo_behaviour_for_one_flow():
+    q = TAQQueue(capacity_pkts=10)
+    for seq in range(3):
+        assert q.enqueue(data(seq=seq), 0.0)
+    out = [q.dequeue(0.0).seq for _ in range(3)]
+    assert out == [0, 1, 2]
+
+
+def test_retransmission_classified_into_recovery():
+    q = TAQQueue(capacity_pkts=10)
+    q.enqueue(data(seq=0), 0.0)
+    q.enqueue(data(seq=1), 0.1)
+    q.enqueue(data(seq=0), 1.0)  # retransmission
+    assert q.scheduler.stats[PacketClass.RECOVERY].enqueued == 1
+
+
+def test_syn_goes_to_new_flow_queue():
+    q = TAQQueue(capacity_pkts=10)
+    q.enqueue(syn(), 0.0)
+    assert q.scheduler.stats[PacketClass.NEW_FLOW].enqueued == 1
+
+
+def test_drop_feedback_reaches_tracker():
+    q = TAQQueue(capacity_pkts=2)
+    for seq in range(5):
+        q.enqueue(data(seq=seq), 0.0)
+    record = q.tracker.lookup(1)
+    assert record.cumulative_drops >= 1
+    assert q.dropped >= 1
+
+
+def test_longer_silence_recovery_jumps_queue():
+    q = TAQQueue(capacity_pkts=10, default_epoch=0.1)
+    # Two flows transmit, then both retransmit — flow 2 after a longer
+    # silence.  Flow 2's retransmission must be served first.
+    q.enqueue(data(flow=1, seq=0), 0.0)
+    q.enqueue(data(flow=2, seq=0), 0.0)
+    q.dequeue(0.0)
+    q.dequeue(0.0)
+    q.enqueue(data(flow=1, seq=0), 1.0)   # flow 1 silent 1s
+    q.enqueue(data(flow=2, seq=0), 5.0)   # flow 2 silent 5s
+    first = q.dequeue(5.0)
+    assert first.flow_id == 2
+
+
+def test_admission_refuses_new_pool_syns_under_load():
+    ctrl = AdmissionController(p_thresh=0.1, t_wait=100.0)
+    q = TAQQueue(capacity_pkts=10, admission=ctrl)
+    # Force a high measured loss rate.
+    for i in range(200):
+        ctrl.note_arrival(0.0)
+        if i % 4 == 0:
+            ctrl.note_drop(0.0)
+    ctrl.note_arrival(2.5)
+    assert not q.enqueue(syn(flow=9, pool=9), 3.0)
+    assert q.admission_refusals == 1
+
+
+def test_admission_disabled_accepts_all_pools():
+    q = TAQQueue(capacity_pkts=10, admission=None)
+    assert q.enqueue(syn(flow=9, pool=9), 0.0)
+
+
+def test_reverse_tap_feeds_epoch_estimates():
+    from repro.net.packet import ACK
+
+    q = TAQQueue(capacity_pkts=10, default_epoch=1.0)
+    q.enqueue(data(seq=0), 0.0)
+    q.observe_reverse(Packet(1, ACK, ack_seq=1), 0.3)
+    assert q.tracker.lookup(1).epoch_length == pytest.approx(0.3)
+
+
+def test_loss_rate_accounting_with_evictions():
+    q = TAQQueue(capacity_pkts=3)
+    offered = 30
+    for seq in range(offered):
+        q.enqueue(data(seq=seq), seq * 0.001)
+    assert q.enqueued + q.dropped == pytest.approx(offered)
+
+
+def test_fair_share_ablation_disables_above_class():
+    q = TAQQueue(capacity_pkts=50, classify_fair_share=False, default_epoch=0.5)
+    q.fairshare.capacity_bps = 1000.0  # absurdly small: everything "above"
+    t = 0.0
+    for seq in range(40):
+        q.enqueue(data(seq=seq), t)
+        t += 0.05
+    assert q.scheduler.stats[PacketClass.ABOVE_FAIR_SHARE].enqueued == 0

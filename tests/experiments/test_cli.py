@@ -1,0 +1,72 @@
+"""Tests for the taq-experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+def test_list_prints_every_experiment(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in cli.EXPERIMENTS:
+        assert key in out
+    assert "tipping-point" in out
+
+
+def test_tipping_point_command(capsys):
+    assert cli.main(["tipping-point"]) == 0
+    out = capsys.readouterr().out
+    assert "partial model tipping point" in out
+    assert "0.1" in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert cli.main(["nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_experiment_with_seed_override(capsys, monkeypatch):
+    # Shrink fig02 so the CLI test stays fast.
+    from repro.experiments import fig02_fairness_droptail as fig2
+
+    tiny = fig2.Config(
+        capacities_bps=(400_000.0,), fair_shares_bps=(40_000.0,), duration=20.0
+    )
+    monkeypatch.setattr(fig2, "Config", lambda: tiny)
+    assert cli.main(["fig02", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+    assert tiny.seed == 9
+
+
+def test_csv_and_chart_flags(capsys, monkeypatch, tmp_path):
+    from repro.experiments import fig02_fairness_droptail as fig2
+
+    tiny = fig2.Config(
+        capacities_bps=(400_000.0,),
+        fair_shares_bps=(20_000.0, 40_000.0),
+        duration=20.0,
+    )
+    monkeypatch.setattr(fig2, "Config", lambda: tiny)
+    csv_path = tmp_path / "fig02.csv"
+    assert cli.main(["fig02", "--csv", str(csv_path), "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "csv written" in out
+    assert "fair share (bps)" in out  # the chart rendered
+    content = csv_path.read_text()
+    assert content.startswith("capacity_kbps")
+    assert content.count("\n") == 3  # header + 2 rows
+
+
+def test_chart_flag_on_chartless_experiment(capsys, monkeypatch):
+    from repro.experiments import fig09_flow_evolution as fig9
+
+    tiny = fig9.Config(n_flows=10, duration=20.0)
+    monkeypatch.setattr(fig9, "Config", lambda: tiny)
+    assert cli.main(["fig09", "--chart"]) == 0
+    assert "no chart rendering" in capsys.readouterr().out
+
+
+def test_new_experiments_registered():
+    for key in ("variants", "padhye", "overlay"):
+        assert key in cli.EXPERIMENTS

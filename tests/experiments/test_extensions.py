@@ -1,0 +1,84 @@
+"""Tiny-scale tests of the extension experiments (variants, overlay,
+Padhye comparison)."""
+
+import pytest
+
+from repro.experiments import (
+    overlay_deployment as ovr,
+    padhye_comparison as pad,
+    variants as var,
+)
+
+
+def test_variants_tiny_run_and_accessors():
+    config = var.Config(
+        n_flows=20, duration=30.0,
+        transports=("newreno", "tfrc"), queues=("droptail",),
+    )
+    result = var.run(config)
+    assert len(result.points) == 2
+    assert result.jain("newreno", "droptail") > 0
+    with pytest.raises(KeyError):
+        result.jain("vegas", "droptail")
+    assert result.taq_reference > 0
+    assert "variants" in str(result) or "transport" in str(result)
+
+
+def test_variants_tfrc_has_no_timeout_counter():
+    config = var.Config(
+        n_flows=10, duration=20.0, transports=("tfrc",), queues=("droptail",),
+    )
+    result = var.run(config)
+    assert result.points[0].timeouts == -1
+
+
+def test_overlay_tiny_run_modes():
+    config = ovr.Config(n_flows=15, duration=30.0, modes=("clean", "overlay"))
+    result = ovr.run(config)
+    assert set(result.modes) == {"clean", "overlay"}
+    assert result.modes["clean"].end_to_end_loss == 0.0
+    assert result.modes["overlay"].tunnel_retransmissions >= 0
+    assert "deployment" in str(result)
+
+
+def test_padhye_tiny_run_and_errors():
+    config = pad.Config(flow_counts=(20,), duration=40.0, warmup=10.0)
+    result = pad.run(config)
+    point = result.points[0]
+    assert point.simulated_pkts_per_rtt > 0
+    assert point.padhye_pkts_per_rtt > 0
+    assert point.error("padhye") >= 0
+    assert point.error("partial_model") >= 0
+    assert "Padhye" in str(result) or "padhye" in str(result)
+
+
+def test_padhye_error_handles_zero_simulated():
+    point = pad.ComparisonPoint(
+        n_flows=1, loss_rate=0.1, simulated_pkts_per_rtt=0.0,
+        padhye_pkts_per_rtt=1.0, partial_model_pkts_per_rtt=1.0,
+        full_model_pkts_per_rtt=1.0,
+    )
+    assert point.error("padhye") == float("inf")
+
+
+def test_spr_tiny_run():
+    from repro.experiments import spr_endhost as spr
+
+    config = spr.Config(n_flows=20, duration=30.0,
+                        scenarios=("all-newreno", "mixed"))
+    result = spr.run(config)
+    assert set(result.scenarios) == {"all-newreno", "mixed"}
+    mixed = result.scenarios["mixed"]
+    assert mixed.spr_advantage > 0
+    assert "SPR" in str(result)
+
+
+def test_table_csv_round_trip():
+    config = var.Config(
+        n_flows=10, duration=20.0, transports=("newreno",), queues=("droptail",),
+    )
+    result = var.run(config)
+    csv_text = result.table().to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("transport,queue")
+    assert len(lines) == 3  # header + 1 combination + TAQ reference row

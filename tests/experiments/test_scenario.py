@@ -1,0 +1,136 @@
+"""Tests for the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario import (
+    ScenarioError,
+    run_scenario,
+    run_scenario_file,
+)
+
+
+def base_document(**overrides):
+    document = {
+        "name": "test",
+        "seed": 3,
+        "duration": 30,
+        "topology": {"type": "dumbbell", "capacity_bps": 600_000, "rtt": 0.2},
+        "queue": {"kind": "droptail"},
+        "workloads": [{"type": "bulk", "n_flows": 20}],
+    }
+    document.update(overrides)
+    return document
+
+
+def test_bulk_scenario_produces_metrics():
+    outcome = run_scenario(base_document())
+    assert outcome.name == "test"
+    assert 0 < outcome.short_term_jain <= 1
+    assert outcome.utilization > 0.5
+    assert outcome.timeouts >= 0
+    assert "Scenario: test" in str(outcome)
+
+
+def test_taq_scenario_wires_reverse_tap():
+    outcome = run_scenario(base_document(queue={"kind": "taq"}))
+    assert outcome.short_term_jain > 0
+
+
+def test_web_workload_reports_download_stats():
+    document = base_document(
+        workloads=[{"type": "web", "n_users": 4, "objects_per_user": 3,
+                    "object_bytes": 5_000, "start_window": 2.0}],
+        duration=60,
+    )
+    outcome = run_scenario(document)
+    assert outcome.extras["web_objects_completed"] > 0
+    assert outcome.extras["web_median_download_s"] > 0
+
+
+def test_short_flows_counted_as_transfers():
+    document = base_document(
+        workloads=[
+            {"type": "bulk", "n_flows": 10},
+            {"type": "short", "lengths": [2, 5], "start_time": 5.0},
+        ],
+        duration=60,
+    )
+    outcome = run_scenario(document)
+    assert outcome.total_transfers == 2
+    assert outcome.completed_transfers == 2
+
+
+def test_overlay_topology():
+    document = base_document(
+        topology={"type": "overlay", "capacity_bps": 600_000, "rtt": 0.2,
+                  "mode": "raw", "underlay_loss": 0.1},
+        workloads=[{"type": "bulk", "n_flows": 10}],
+    )
+    outcome = run_scenario(document)
+    assert outcome.utilization > 0.3
+
+
+def test_testbed_topology():
+    document = base_document(
+        topology={"type": "testbed", "capacity_bps": 600_000, "rtt": 0.2},
+    )
+    outcome = run_scenario(document)
+    assert outcome.utilization > 0.5
+
+
+def test_validation_errors():
+    with pytest.raises(ScenarioError):
+        run_scenario({"duration": 10})  # no topology
+    with pytest.raises(ScenarioError):
+        run_scenario(base_document(workloads=[]))
+    with pytest.raises(ScenarioError):
+        run_scenario(base_document(workloads=[{"type": "quic"}]))
+    with pytest.raises(ScenarioError):
+        run_scenario(base_document(topology={"type": "ring", "capacity_bps": 1}))
+    with pytest.raises(ScenarioError):
+        run_scenario(base_document(workloads=[{"type": "bulk"}]))  # n_flows
+
+
+def test_scenario_file_round_trip(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(base_document()))
+    outcome = run_scenario_file(str(path))
+    assert outcome.name == "test"
+
+
+def test_scenario_file_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ScenarioError):
+        run_scenario_file(str(path))
+
+
+def test_shipped_example_scenarios_parse_and_run_small():
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..", "examples", "scenarios")
+    for name in os.listdir(root):
+        with open(os.path.join(root, name)) as handle:
+            document = json.load(handle)
+        document["duration"] = 15  # shrink for test speed
+        for workload in document["workloads"]:
+            if "n_flows" in workload:
+                workload["n_flows"] = min(10, workload["n_flows"])
+            if "n_users" in workload:
+                workload["n_users"] = min(4, workload["n_users"])
+                workload["start_window"] = 2.0
+        outcome = run_scenario(document)
+        assert outcome.duration == 15
+
+
+def test_cli_scenario_command(tmp_path, capsys):
+    from repro.experiments import cli
+
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps(base_document()))
+    assert cli.main(["scenario", str(path)]) == 0
+    assert "Scenario: test" in capsys.readouterr().out
+    assert cli.main(["scenario"]) == 2
+    assert cli.main(["scenario", str(tmp_path / "missing.json")]) == 2

@@ -1,0 +1,65 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.metrics.asciichart import bar_chart, cdf_chart, line_chart
+
+
+def test_line_chart_places_extremes():
+    chart = line_chart({"a": [(0.0, 0.0), (10.0, 1.0)]}, width=20, height=5)
+    lines = chart.splitlines()
+    # Top row holds the max, bottom data row the min.
+    assert "o" in lines[0]
+    assert "o" in lines[4]
+
+
+def test_line_chart_legend_and_labels():
+    chart = line_chart(
+        {"taq": [(1, 1)], "droptail": [(2, 2)]},
+        x_label="fair share", y_label="JFI",
+    )
+    assert "o taq" in chart
+    assert "x droptail" in chart
+    assert "JFI" in chart
+    assert "fair share" in chart
+
+
+def test_line_chart_empty():
+    assert line_chart({}) == "(no data)"
+    assert line_chart({"a": []}) == "(no data)"
+
+
+def test_line_chart_flat_series_does_not_crash():
+    chart = line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+    assert "flat" in chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart({"dt": 10.0, "taq": 5.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") > lines[1].count("#")
+    assert "10" in lines[0]
+
+
+def test_bar_chart_empty_and_zero():
+    assert bar_chart({}) == "(no data)"
+    chart = bar_chart({"a": 0.0})
+    assert "a" in chart
+
+
+def test_cdf_chart_renders():
+    chart = cdf_chart({"dt": [(1.0, 0.5), (2.0, 1.0)]})
+    assert "CDF" in chart
+
+
+def test_experiment_charts_render():
+    from repro.experiments import fig02_fairness_droptail as fig2
+    from repro.experiments.sweeps import SweepPoint
+
+    result = fig2.Result(points=[
+        SweepPoint(600_000.0, 60, 10_000.0, 0.5, 0.6, 0.8, 0.99, 0.1, 100, 10, 0.1),
+        SweepPoint(600_000.0, 30, 20_000.0, 1.0, 0.8, 0.9, 0.99, 0.05, 50, 5, 0.0),
+    ])
+    chart = result.chart()
+    assert "600Kbps" in chart
+    assert "fair share" in chart

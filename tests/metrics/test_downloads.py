@@ -1,0 +1,78 @@
+"""Unit and property tests for download-time distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.downloads import (
+    DownloadSample,
+    bucket_statistics,
+    cdf_percentile,
+    cdf_points,
+    log_bucket,
+    percentile,
+    spread_orders_of_magnitude,
+)
+
+
+def test_log_bucket_boundaries():
+    assert log_bucket(100) == 2
+    assert log_bucket(999) == 2
+    assert log_bucket(1000) == 3
+    assert log_bucket(1_000_000) == 6
+
+
+def test_log_bucket_rejects_zero():
+    with pytest.raises(ValueError):
+        log_bucket(0)
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+def test_property_percentile_within_range(xs):
+    xs = sorted(xs)
+    for q in (0, 10, 50, 90, 100):
+        assert xs[0] <= percentile(xs, q) <= xs[-1]
+
+
+def test_bucket_statistics_groups_and_summarizes():
+    samples = [
+        DownloadSample(150, 1.0),
+        DownloadSample(900, 9.0),
+        DownloadSample(5_000, 2.0),
+    ]
+    rows = bucket_statistics(samples)
+    assert [r.bucket for r in rows] == [2, 3]
+    small = rows[0]
+    assert small.count == 2
+    assert small.minimum == 1.0
+    assert small.maximum == 9.0
+    assert small.average == pytest.approx(5.0)
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+
+def test_cdf_percentile_median():
+    assert cdf_percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+def test_spread_orders_of_magnitude():
+    assert spread_orders_of_magnitude([0.1, 10.0]) == pytest.approx(2.0)
+    assert spread_orders_of_magnitude([5.0]) == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for flow-evolution classification (Fig 9 machinery)."""
+
+import pytest
+
+from repro.metrics.evolution import classify_evolution, mean_counts
+from repro.metrics.fairness import SliceGoodputCollector
+from repro.net.packet import DATA, Packet
+
+
+def feed(col, flow, slice_index, slice_width=10.0):
+    col.observe(Packet(flow, DATA, seq=0, size=500), slice_index * slice_width + 1.0)
+
+
+def test_all_four_transitions():
+    col = SliceGoodputCollector(10.0)
+    # Flow 1: active in slices 0,1 -> maintained at slice 1.
+    feed(col, 1, 0); feed(col, 1, 1)
+    # Flow 2: active in 0 only -> dropped at slice 1.
+    feed(col, 2, 0)
+    # Flow 3: active in 1 only -> arriving at slice 1.
+    feed(col, 3, 1)
+    # Flow 4: never active -> stalled at slice 1.
+    windows = classify_evolution(col, [1, 2, 3, 4], start_index=1)
+    w = windows[0]
+    assert (w.maintained, w.dropped, w.arriving, w.stalled) == (1, 1, 1, 1)
+    assert w.total == 4
+
+
+def test_warmup_slice_seeds_previous_activity():
+    col = SliceGoodputCollector(10.0)
+    feed(col, 1, 0)
+    feed(col, 1, 1)
+    windows = classify_evolution(col, [1], start_index=1)
+    assert windows[0].maintained == 1
+
+
+def test_flow_silent_after_activity_then_returning():
+    col = SliceGoodputCollector(10.0)
+    feed(col, 1, 0)
+    # silent in 1, returns in 2
+    feed(col, 1, 2)
+    windows = classify_evolution(col, [1], start_index=1)
+    assert windows[0].dropped == 1
+    assert windows[1].arriving == 1
+
+
+def test_stalled_persists_across_windows():
+    col = SliceGoodputCollector(10.0)
+    feed(col, 1, 0)
+    feed(col, 1, 3)  # defines the slice range 0..3
+    windows = classify_evolution(col, [1, 2], start_index=1)
+    stalled_counts = [w.stalled for w in windows]
+    # Flow 2 never transmits (stalled throughout); flow 1 also counts as
+    # stalled in window 2 (its second consecutive silent slice).
+    assert stalled_counts == [1, 2, 1]
+
+
+def test_mean_counts():
+    col = SliceGoodputCollector(10.0)
+    feed(col, 1, 0); feed(col, 1, 1); feed(col, 1, 2)
+    windows = classify_evolution(col, [1, 2], start_index=1)
+    means = mean_counts(windows)
+    assert means["maintained"] == pytest.approx(1.0)
+    assert means["stalled"] == pytest.approx(1.0)
+
+
+def test_empty_collector():
+    col = SliceGoodputCollector(10.0)
+    assert classify_evolution(col, [1, 2]) == []
+    assert mean_counts([])["maintained"] == 0.0

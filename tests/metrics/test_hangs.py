@@ -1,0 +1,46 @@
+"""Unit tests for hang detection."""
+
+import pytest
+
+from repro.metrics.hangs import fraction_with_hang_over, hang_durations, longest_hang
+
+
+def test_gaps_include_session_edges():
+    gaps = hang_durations([2.0, 5.0], session_start=0.0, session_end=10.0)
+    assert gaps == [2.0, 3.0, 5.0]
+
+
+def test_no_deliveries_is_one_long_hang():
+    assert hang_durations([], 0.0, 30.0) == [30.0]
+
+
+def test_longest_hang():
+    assert longest_hang([2.0, 5.0], 0.0, 10.0) == 5.0
+
+
+def test_deliveries_outside_session_ignored():
+    gaps = hang_durations([-5.0, 2.0, 50.0], 0.0, 10.0)
+    assert gaps == [2.0, 8.0]
+
+
+def test_unsorted_input_handled():
+    # Sorted: 1, 4, 9 -> gaps 1, 3, 5, 1; worst is the 4 -> 9 gap.
+    assert longest_hang([9.0, 1.0, 4.0], 0.0, 10.0) == 5.0
+
+
+def test_fraction_with_hang_over():
+    users = [
+        [1.0, 2.0, 3.0, 9.0],   # worst hang 6.0
+        [5.0],                  # worst hang 5.0
+        [0.5, 9.5],             # worst hang 9.0
+    ]
+    assert fraction_with_hang_over(users, 5.5, 0.0, 10.0) == pytest.approx(2 / 3)
+
+
+def test_fraction_empty_population():
+    assert fraction_with_hang_over([], 1.0, 0.0, 10.0) == 0.0
+
+
+def test_invalid_session_bounds():
+    with pytest.raises(ValueError):
+        hang_durations([1.0], 5.0, 2.0)

@@ -1,0 +1,90 @@
+"""Tests for first-passage and silence-run model analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.analysis import (
+    expected_epochs_to_timeout,
+    expected_idle_epochs,
+    expected_silence_run,
+    silence_run_distribution,
+)
+
+LOSS = st.floats(min_value=0.01, max_value=0.45)
+
+
+# ------------------------------------------------ first-passage time
+def test_zero_loss_never_times_out():
+    assert expected_epochs_to_timeout(0.0) == float("inf")
+
+
+def test_first_passage_decreases_with_p():
+    values = [expected_epochs_to_timeout(p) for p in (0.05, 0.1, 0.2, 0.35)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_first_passage_from_s2_hand_check_high_loss():
+    # At p -> 0.5-, S2 times out with prob 1-(1-p)^2 = 0.75 per epoch and
+    # S3 similarly; survival is short.
+    value = expected_epochs_to_timeout(0.45, start="S2")
+    assert 1.0 < value < 3.0
+
+
+def test_first_passage_larger_windows_survive_longer_at_small_p():
+    # At small p, starting higher in the chain delays the first timeout
+    # only modestly (the chain is short); but from S2 the flow must
+    # climb, so starting at S6 cannot be *worse*... except S6 can only
+    # fast-retransmit or time out, while S2 first enjoys loss-free
+    # epochs.  Just pin both are finite and positive.
+    for start in ("S2", "S6"):
+        value = expected_epochs_to_timeout(0.05, start=start)
+        assert 0 < value < 1000
+
+
+def test_first_passage_rejects_timeout_start():
+    with pytest.raises(ValueError):
+        expected_epochs_to_timeout(0.1, start="b*")
+
+
+@settings(max_examples=50, deadline=None)
+@given(LOSS)
+def test_property_first_passage_positive_finite(p):
+    value = expected_epochs_to_timeout(p)
+    assert 1.0 <= value < 1e6
+
+
+# ------------------------------------------------ silence runs
+@settings(max_examples=50, deadline=None)
+@given(LOSS)
+def test_property_silence_run_is_distribution(p):
+    distribution = silence_run_distribution(p)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    assert all(v >= -1e-12 for v in distribution.values())
+
+
+def test_silence_runs_lengthen_with_p():
+    short = expected_silence_run(0.05)
+    long_ = expected_silence_run(0.35)
+    assert long_ > short
+    assert short >= 1.0
+
+
+def test_silence_run_mean_bounded_by_components():
+    # The mixture mean sits between 1 (b0 runs) and 1/(1-2p) (b* runs).
+    p = 0.3
+    mean = expected_silence_run(p)
+    assert 1.0 <= mean <= expected_idle_epochs(p) + 1e-9
+
+
+def test_silence_run_distribution_tail_decays():
+    distribution = silence_run_distribution(0.3, max_len=20)
+    assert distribution[2] > distribution[5] > distribution[10]
+
+
+def test_silence_run_matches_geometry():
+    # Runs entering b* continue with probability 2p: the ratio of
+    # consecutive lengths (beyond 1, which mixes in b0) equals 2p.
+    p = 0.25
+    distribution = silence_run_distribution(p, max_len=25)
+    assert distribution[3] / distribution[2] == pytest.approx(2 * p, rel=1e-6)

@@ -1,0 +1,121 @@
+"""Unit and property tests for the generic Markov chain toolkit."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.chain import MarkovChain
+
+
+def two_state_chain(a_to_b, b_to_a):
+    chain = MarkovChain()
+    chain.add_states(["A", "B"])
+    chain.add_transition("A", "B", a_to_b)
+    chain.add_transition("A", "A", 1 - a_to_b)
+    chain.add_transition("B", "A", b_to_a)
+    chain.add_transition("B", "B", 1 - b_to_a)
+    return chain
+
+
+def test_two_state_stationary_closed_form():
+    chain = two_state_chain(0.3, 0.6)
+    pi = chain.stationary()
+    # pi_A = q/(p+q), pi_B = p/(p+q)
+    assert pi["A"] == pytest.approx(0.6 / 0.9)
+    assert pi["B"] == pytest.approx(0.3 / 0.9)
+
+
+def test_validate_rejects_deficient_rows():
+    chain = MarkovChain()
+    chain.add_states(["A", "B"])
+    chain.add_transition("A", "B", 0.5)
+    chain.add_transition("B", "B", 1.0)
+    with pytest.raises(ValueError):
+        chain.validate()
+
+
+def test_duplicate_state_rejected():
+    chain = MarkovChain()
+    chain.add_state("A")
+    with pytest.raises(ValueError):
+        chain.add_state("A")
+
+
+def test_unknown_state_in_transition_rejected():
+    chain = MarkovChain()
+    chain.add_state("A")
+    with pytest.raises(KeyError):
+        chain.add_transition("A", "missing", 1.0)
+
+
+def test_probability_bounds_checked():
+    chain = MarkovChain()
+    chain.add_states(["A", "B"])
+    with pytest.raises(ValueError):
+        chain.add_transition("A", "B", 1.5)
+
+
+def test_transitions_accumulate():
+    chain = MarkovChain()
+    chain.add_states(["A"])
+    chain.add_transition("A", "A", 0.5)
+    chain.add_transition("A", "A", 0.5)
+    assert chain.transition("A", "A") == pytest.approx(1.0)
+
+
+def test_absorbing_state_detection():
+    chain = MarkovChain()
+    chain.add_states(["A", "B"])
+    chain.add_transition("A", "B", 1.0)
+    chain.add_transition("B", "B", 1.0)
+    assert chain.absorbing_states() == ["B"]
+
+
+def test_expected_return_time_inverse_of_pi():
+    chain = two_state_chain(0.5, 0.5)
+    assert chain.expected_return_time("A") == pytest.approx(2.0)
+
+
+def test_stationary_is_fixed_point():
+    chain = two_state_chain(0.2, 0.7)
+    pi = chain.stationary()
+    # pi P == pi
+    next_a = pi["A"] * chain.transition("A", "A") + pi["B"] * chain.transition("B", "A")
+    assert next_a == pytest.approx(pi["A"])
+
+
+def test_simulate_visits_match_stationary():
+    chain = two_state_chain(0.3, 0.6)
+    path = chain.simulate("A", 20000, random.Random(3))
+    frac_a = path.count("A") / len(path)
+    assert frac_a == pytest.approx(chain.stationary()["A"], abs=0.02)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a_to_b=st.floats(min_value=0.01, max_value=0.99),
+    b_to_a=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_property_stationary_sums_to_one_and_nonnegative(a_to_b, b_to_a):
+    pi = two_state_chain(a_to_b, b_to_a).stationary()
+    assert sum(pi.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in pi.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.randoms(use_true_random=False))
+def test_property_random_dense_chain_stationary_is_fixed_point(n, rnd):
+    chain = MarkovChain()
+    names = [f"s{i}" for i in range(n)]
+    chain.add_states(names)
+    for src in names:
+        weights = [rnd.random() + 1e-6 for _ in range(n)]
+        total = sum(weights)
+        for dst, w in zip(names, weights):
+            chain.add_transition(src, dst, w / total)
+    pi = chain.stationary()
+    for dst in names:
+        inflow = sum(pi[src] * chain.transition(src, dst) for src in names)
+        assert inflow == pytest.approx(pi[dst], abs=1e-6)

@@ -1,0 +1,98 @@
+"""Closed-form checks of the paper's §3.1 equations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.analysis import backoff_stage_probability, expected_idle_epochs
+from repro.model.full import aggregate_stage3_idle_epochs
+from repro.model.partial import (
+    fast_retransmit_probability,
+    timeout_probability_from_window,
+    window_success_probability,
+)
+
+LOSS = st.floats(min_value=0.001, max_value=0.45)
+
+
+@given(LOSS, st.integers(min_value=2, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_eq1_success_probability(p, n):
+    assert window_success_probability(n, p) == pytest.approx((1 - p) ** n)
+
+
+@given(LOSS, st.integers(min_value=4, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_eq2_fast_retransmit_probability(p, n):
+    expected = n * p * (1 - p) ** (n - 1) * (1 - p)
+    assert fast_retransmit_probability(n, p) == pytest.approx(expected)
+
+
+def test_no_fast_retransmit_below_window_4():
+    assert fast_retransmit_probability(2, 0.1) == 0.0
+    assert fast_retransmit_probability(3, 0.1) == 0.0
+
+
+@given(LOSS, st.integers(min_value=2, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_eq3_residual_sums_to_one(p, n):
+    total = (
+        window_success_probability(n, p)
+        + fast_retransmit_probability(n, p)
+        + timeout_probability_from_window(n, p)
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_eq7_first_stage_probability_is_one_minus_p():
+    assert backoff_stage_probability(0.2, 1) == pytest.approx(0.8)
+
+
+@given(LOSS)
+@settings(max_examples=100, deadline=None)
+def test_eq5_geometric_ratio_between_stages(p):
+    for stage in (1, 2, 3):
+        ratio = backoff_stage_probability(p, stage + 1) / backoff_stage_probability(p, stage)
+        assert ratio == pytest.approx(p)
+
+
+@given(LOSS)
+@settings(max_examples=100, deadline=None)
+def test_eq6_stage_probabilities_sum_to_one(p):
+    total = sum(backoff_stage_probability(p, k) for k in range(1, 200))
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+@given(LOSS)
+@settings(max_examples=100, deadline=None)
+def test_eq8_expected_idle_closed_form_matches_series(p):
+    # sum_{k>=1} (2^k - 1) p^(k-1) (1-p) == 1/(1-2p)
+    series = sum((2**k - 1) * p ** (k - 1) * (1 - p) for k in range(1, 400))
+    assert expected_idle_epochs(p) == pytest.approx(series, rel=1e-6)
+
+
+def test_eq8_examples():
+    assert expected_idle_epochs(0.0) == pytest.approx(1.0)
+    assert expected_idle_epochs(0.25) == pytest.approx(2.0)
+
+
+def test_eq8_domain():
+    with pytest.raises(ValueError):
+        expected_idle_epochs(0.5)
+    with pytest.raises(ValueError):
+        expected_idle_epochs(-0.1)
+
+
+@given(LOSS)
+@settings(max_examples=100, deadline=None)
+def test_stage3_aggregate_idle_matches_series(p):
+    # sum_{j>=3} (2^j - 1) p^(j-3) (1-p) == 8(1-p)/(1-2p) - 1
+    series = sum((2**j - 1) * p ** (j - 3) * (1 - p) for j in range(3, 400))
+    assert aggregate_stage3_idle_epochs(p) == pytest.approx(series, rel=1e-6)
+
+
+def test_stage3_aggregate_minimum_is_seven_epochs():
+    # At p -> 0 the aggregate is just stage 3: a 7-epoch wait.
+    assert aggregate_stage3_idle_epochs(1e-9) == pytest.approx(7.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the Padhye/PFTK throughput model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import build_partial_model
+from repro.model.padhye import (
+    padhye_throughput_pkts_per_rtt,
+    padhye_throughput_pps,
+    stationary_throughput_pkts_per_epoch,
+)
+
+
+def test_small_p_limit_is_the_sqrt_law():
+    # As p -> 0 the timeout term vanishes: T ~ 1/(RTT sqrt(2p/3)).
+    p, rtt = 1e-4, 0.2
+    expected = 1.0 / (rtt * math.sqrt(2 * p / 3))
+    assert padhye_throughput_pps(p, rtt) == pytest.approx(expected, rel=0.05)
+
+
+def test_wmax_caps_throughput():
+    assert padhye_throughput_pps(1e-5, 0.2, wmax=6) == pytest.approx(30.0)
+
+
+def test_throughput_decreases_with_p():
+    rates = [padhye_throughput_pps(p, 0.2) for p in (0.01, 0.05, 0.1, 0.2, 0.4)]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_larger_rto_means_lower_throughput():
+    fast = padhye_throughput_pps(0.2, 0.2, rto=0.4)
+    slow = padhye_throughput_pps(0.2, 0.2, rto=2.0)
+    assert slow < fast
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        padhye_throughput_pps(0.0, 0.2)
+    with pytest.raises(ValueError):
+        padhye_throughput_pps(1.0, 0.2)
+    with pytest.raises(ValueError):
+        padhye_throughput_pps(0.1, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.005, max_value=0.45))
+def test_property_pkts_per_rtt_positive_and_finite(p):
+    rate = padhye_throughput_pkts_per_rtt(p, rtt=1.0, rto=2.0, wmax=6)
+    assert 0.0 < rate <= 6.0
+
+
+def test_stationary_throughput_matches_census_mean():
+    chain = build_partial_model(0.1)
+    value = stationary_throughput_pkts_per_epoch(chain)
+    assert 0.0 < value < 6.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.005, max_value=0.45))
+def test_property_stationary_throughput_decreases_with_p(p):
+    base = stationary_throughput_pkts_per_epoch(build_partial_model(0.005))
+    value = stationary_throughput_pkts_per_epoch(build_partial_model(p))
+    assert value <= base + 1e-9

@@ -1,0 +1,57 @@
+"""Unit tests for the dumbbell topology and regime arithmetic."""
+
+import pytest
+
+from repro.net.topology import Dumbbell, rtt_buffer_pkts
+from repro.sim.simulator import Simulator
+
+
+def test_rtt_buffer_sizing_matches_paper_example():
+    # 1 Mbps, 200 ms RTT, 500 B packets => "50 packets worth of buffer
+    # space (one RTT worth of delay)" (§2.3).
+    assert rtt_buffer_pkts(1_000_000, 0.2, 500) == 50
+
+
+def test_rtt_buffer_minimum_one_packet():
+    assert rtt_buffer_pkts(1000, 0.001, 1500) == 1
+
+
+def test_rtt_buffer_scales_with_multiplier():
+    base = rtt_buffer_pkts(1_000_000, 0.2, 500, rtts=1.0)
+    assert rtt_buffer_pkts(1_000_000, 0.2, 500, rtts=2.0) == 2 * base
+
+
+def test_fair_share_and_packets_per_rtt():
+    sim = Simulator()
+    bell = Dumbbell(sim, capacity_bps=1_000_000, rtt=0.2, pkt_size=500)
+    assert bell.fair_share_bps(100) == pytest.approx(10_000)
+    # 10 Kbps * 0.2 s / (8 * 500) = 0.5 packets per RTT
+    assert bell.packets_per_rtt(100) == pytest.approx(0.5)
+
+
+def test_regime_classification():
+    sim = Simulator()
+    bell = Dumbbell(sim, capacity_bps=1_000_000, rtt=0.2, pkt_size=500)
+    assert bell.regime(100) == "sub-packet"        # 0.5 pkt/RTT
+    assert "small-packet" in bell.regime(25)       # 2 pkt/RTT
+    assert bell.regime(2) == "normal"              # 25 pkt/RTT
+
+
+def test_fair_share_requires_positive_flows():
+    sim = Simulator()
+    bell = Dumbbell(sim, capacity_bps=1_000_000, rtt=0.2)
+    with pytest.raises(ValueError):
+        bell.fair_share_bps(0)
+
+
+def test_default_queue_is_one_rtt_droptail():
+    sim = Simulator()
+    bell = Dumbbell(sim, capacity_bps=1_000_000, rtt=0.2, pkt_size=500)
+    assert bell.queue.capacity_pkts == 50
+
+
+def test_reverse_path_is_fast_by_default():
+    sim = Simulator()
+    bell = Dumbbell(sim, capacity_bps=1_000_000, rtt=0.2)
+    assert bell.reverse.capacity_bps == pytest.approx(100_000_000)
+    assert bell.forward.delay + bell.reverse.delay == pytest.approx(0.2)

@@ -1,0 +1,160 @@
+"""Unit tests for the overlay substrate (lossy links, ARQ tunnel)."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import DATA, Packet
+from repro.overlay import ArqTunnel, LossyLink, OverlayDumbbell
+from repro.queues.droptail import DropTailQueue
+from repro.sim.simulator import Simulator
+from repro.workloads import spawn_bulk_flows
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet, now):
+        self.packets.append((now, packet))
+
+
+def make_lossy(sim, loss, capacity=1_000_000.0, delay=0.01):
+    return LossyLink(
+        sim, capacity, delay, DropTailQueue(1000), loss_rate=loss,
+        rng=sim.rng.stream("loss"),
+    )
+
+
+def send_n(link, sink, n):
+    for i in range(n):
+        p = Packet(1, DATA, seq=i, size=500)
+        p.dst = sink
+        link.send(p)
+
+
+# ------------------------------------------------------------ LossyLink
+def test_lossless_lossy_link_delivers_everything():
+    sim = Simulator(seed=1)
+    sink = Sink()
+    link = make_lossy(sim, 0.0)
+    send_n(link, sink, 50)
+    sim.run()
+    assert len(sink.packets) == 50
+
+
+def test_lossy_link_drops_roughly_loss_rate():
+    sim = Simulator(seed=1)
+    sink = Sink()
+    link = make_lossy(sim, 0.2)
+    send_n(link, sink, 800)  # stays within the 1000-packet buffer
+    sim.run()
+    delivered = len(sink.packets)
+    assert 560 < delivered < 720  # ~640 expected at 20% loss
+    assert link.cross_traffic_losses == 800 - delivered
+
+
+def test_lossy_link_validates_loss_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        make_lossy(sim, 1.0)
+
+
+# ------------------------------------------------------------ ArqTunnel
+def make_tunnel(sim, loss=0.3, timeout=0.05):
+    forward = make_lossy(sim, loss)
+    reverse = make_lossy(sim, loss)
+    return ArqTunnel(sim, forward, reverse, retransmit_timeout=timeout), forward
+
+
+def test_tunnel_delivers_through_heavy_loss():
+    sim = Simulator(seed=2)
+    tunnel, _ = make_tunnel(sim, loss=0.3)
+    sink = Sink()
+    for i in range(100):
+        p = Packet(1, DATA, seq=i, size=500)
+        p.dst = sink
+        tunnel.send(p)
+    sim.run(until=30.0)
+    assert len(sink.packets) == 100       # all delivered despite 30% loss
+    assert tunnel.retransmissions > 10    # because the tunnel worked
+    assert tunnel.exit_node.duplicates >= 0
+    assert tunnel.in_flight == 0
+
+
+def test_tunnel_no_duplicate_forwarding():
+    sim = Simulator(seed=3)
+    tunnel, _ = make_tunnel(sim, loss=0.0, timeout=0.001)  # force spurious retx
+    sink = Sink()
+    p = Packet(1, DATA, seq=0, size=500)
+    p.dst = sink
+    tunnel.send(p)
+    sim.run(until=2.0)
+    assert len(sink.packets) == 1
+    assert tunnel.exit_node.duplicates >= 1
+
+
+def test_tunnel_gives_up_eventually():
+    sim = Simulator(seed=4)
+    forward = make_lossy(sim, 0.0)
+    # Break the ack path completely: every packet exhausts its retries.
+    reverse = make_lossy(sim, 0.99)
+    tunnel = ArqTunnel(sim, forward, reverse, retransmit_timeout=0.02,
+                       max_retransmits=2)
+    sink = Sink()
+    p = Packet(1, DATA, seq=0, size=500)
+    p.dst = sink
+    tunnel.send(p)
+    sim.run(until=5.0)
+    assert tunnel.given_up == 1
+    assert tunnel.in_flight == 0
+
+
+def test_tunnel_preserves_destination():
+    sim = Simulator(seed=5)
+    tunnel, _ = make_tunnel(sim, loss=0.0)
+    a, b = Sink(), Sink()
+    for sink, seq in ((a, 0), (b, 1)):
+        p = Packet(1, DATA, seq=seq, size=500)
+        p.dst = sink
+        tunnel.send(p)
+    sim.run(until=1.0)
+    assert len(a.packets) == 1 and a.packets[0][1].seq == 0
+    assert len(b.packets) == 1 and b.packets[0][1].seq == 1
+
+
+# ------------------------------------------------------ OverlayDumbbell
+def test_overlay_dumbbell_modes_validate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OverlayDumbbell(sim, 1_000_000, 0.2, mode="weird")
+
+
+def test_clean_mode_has_no_downstream_loss():
+    sim = Simulator(seed=6)
+    bell = OverlayDumbbell(sim, 1_000_000, 0.1, mode="clean", underlay_loss=0.5)
+    flows = spawn_bulk_flows(bell, 5, size_segments=30)
+    sim.run(until=30.0)
+    assert all(f.done for f in flows)
+    assert bell.end_to_end_loss_rate() == 0.0
+
+
+def test_raw_mode_loses_downstream():
+    sim = Simulator(seed=6)
+    bell = OverlayDumbbell(sim, 1_000_000, 0.1, mode="raw", underlay_loss=0.2)
+    flows = spawn_bulk_flows(bell, 5, size_segments=30)
+    sim.run(until=60.0)
+    assert bell.end_to_end_loss_rate() == pytest.approx(0.2, abs=0.07)
+
+
+def test_overlay_mode_hides_underlay_loss_from_flows():
+    sim = Simulator(seed=6)
+    bell = OverlayDumbbell(sim, 1_000_000, 0.1, mode="overlay", underlay_loss=0.2)
+    flows = spawn_bulk_flows(bell, 5, size_segments=30)
+    sim.run(until=60.0)
+    assert all(f.done for f in flows)
+    assert bell.tunnel.retransmissions > 0
+    # Flows saw (almost) no downstream loss: few or no sender timeouts
+    # beyond the middlebox queue's own behaviour.
+    assert bell.end_to_end_loss_rate() < 0.02

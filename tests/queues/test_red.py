@@ -1,0 +1,76 @@
+"""Unit tests for RED."""
+
+import random
+
+import pytest
+
+from repro.net.packet import DATA, Packet
+from repro.queues.red import REDQueue
+
+
+def pkt(flow=1, seq=0):
+    return Packet(flow, DATA, seq=seq, size=500)
+
+
+def make_red(capacity=20, **kwargs):
+    return REDQueue(capacity, random.Random(1), **kwargs)
+
+
+def test_below_min_th_never_drops():
+    queue = make_red(capacity=100, min_th=50, max_th=90)
+    for i in range(30):
+        assert queue.enqueue(pkt(seq=i), i * 0.01)
+    assert queue.dropped == 0
+
+
+def test_forced_drop_when_full():
+    queue = make_red(capacity=4, min_th=1, max_th=3, max_p=0.0)
+    results = [queue.enqueue(pkt(seq=i), 0.0) for i in range(6)]
+    assert results.count(False) >= 1
+    assert queue.forced_drops >= 1
+
+
+def test_early_drops_happen_between_thresholds():
+    queue = make_red(capacity=1000, min_th=2, max_th=500, max_p=0.5, weight=0.5)
+    dropped = 0
+    for i in range(200):
+        if not queue.enqueue(pkt(seq=i), i * 0.001):
+            dropped += 1
+    assert queue.early_drops > 0
+    assert dropped == queue.dropped
+
+
+def test_avg_tracks_queue_growth():
+    queue = make_red(capacity=100, min_th=50, max_th=90, weight=0.5)
+    for i in range(20):
+        queue.enqueue(pkt(seq=i), 0.0)
+    assert queue.avg > 5.0
+
+
+def test_avg_decays_when_idle():
+    class FakeLink:
+        capacity_bps = 8000.0  # 500B pkt tx = 0.5s
+
+    queue = make_red(capacity=100, min_th=50, max_th=90, weight=0.5)
+    queue.attach(FakeLink())
+    for i in range(10):
+        queue.enqueue(pkt(seq=i), 0.0)
+    while queue.dequeue(1.0) is not None:
+        pass
+    avg_before = queue.avg
+    queue.enqueue(pkt(), 100.0)  # long idle gap
+    assert queue.avg < avg_before
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        make_red(capacity=10, min_th=5, max_th=5)
+
+
+def test_fifo_within_red():
+    queue = make_red(capacity=100, min_th=90, max_th=99)
+    first, second = pkt(seq=1), pkt(seq=2)
+    queue.enqueue(first, 0.0)
+    queue.enqueue(second, 0.0)
+    assert queue.dequeue(0.0) is first
+    assert queue.dequeue(0.0) is second

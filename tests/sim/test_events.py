@@ -1,0 +1,79 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, order.append, ("c",))
+    queue.push(1.0, order.append, ("a",))
+    queue.push(2.0, order.append, ("b",))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback(*event.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    queue = EventQueue()
+    order = []
+    for name in "abcde":
+        queue.push(1.0, order.append, (name,))
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == list("abcde")
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    cancel = queue.push(0.5, lambda: None)
+    cancel.cancel()
+    assert queue.pop() is keep
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(0.5, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 0.5
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(5)]
+    assert len(queue) == 5
+    events[0].cancel()
+    events[3].cancel()
+    assert len(queue) == 3
+
+
+def test_empty_queue_pop_and_peek():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert not queue
+
+
+def test_pending_property_lifecycle():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert event.pending
+    popped = queue.pop()
+    popped.fired = True
+    assert not popped.pending

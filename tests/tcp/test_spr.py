@@ -1,0 +1,112 @@
+"""Unit tests for SPR-TCP (the future-work end-host mechanism)."""
+
+import pytest
+
+from repro.net.packet import DATA
+from repro.sim.simulator import Simulator
+from repro.tcp.spr import SprSender
+
+from tests.tcp.helpers import Loopback
+
+
+def make_pipe(sim, **kwargs):
+    pipe = Loopback(sim, **kwargs)
+    old = pipe.sender
+    pipe.sender = SprSender(
+        sim,
+        1,
+        transmit=pipe._to_receiver,
+        total_segments=old.total_segments,
+        initial_cwnd=old.initial_cwnd,
+        rto=old.rto,
+    )
+    return pipe
+
+
+def test_lossless_flow_never_enters_spr_mode():
+    sim = Simulator()
+    pipe = make_pipe(sim, total_segments=50)
+    pipe.run()
+    assert pipe.sender.done
+    assert not pipe.sender.spr_mode
+    assert pipe.sender.spr_entries == 0
+
+
+def test_consecutive_timeouts_engage_spr_mode():
+    sim = Simulator()
+    state = {"count": 0}
+
+    def drop_first_sends(p):
+        if p.kind == DATA and state["count"] < 3:
+            state["count"] += 1
+            return True
+        return False
+
+    pipe = make_pipe(sim, total_segments=30, drop_data=drop_first_sends,
+                     initial_cwnd=1)
+    pipe.sender.open()
+    sim.run(until=10.0)
+    assert pipe.sender.spr_entries >= 1
+    sim.run(until=120.0)
+    assert pipe.sender.done
+
+
+def test_spr_mode_caps_backoff():
+    sim = Simulator()
+    pipe = make_pipe(sim, total_segments=5,
+                     drop_data=lambda p: p.kind == DATA)  # black hole
+    pipe.sender.open()
+    sim.run(until=60.0)
+    assert pipe.sender.spr_mode
+    assert pipe.sender.rto.backoff_exponent <= SprSender.SPR_BACKOFF_CAP
+    # The flow keeps retrying at a bounded pace instead of going silent
+    # for exponentially-growing periods.
+    assert pipe.sender.stats.timeouts > 10
+
+
+def test_spr_mode_exits_when_window_regrows():
+    sim = Simulator()
+    state = {"count": 0}
+
+    def drop_early(p):
+        if p.kind == DATA and state["count"] < 3:
+            state["count"] += 1
+            return True
+        return False
+
+    pipe = make_pipe(sim, total_segments=200, drop_data=drop_early, initial_cwnd=1)
+    pipe.run(until=200.0)
+    assert pipe.sender.done
+    assert pipe.sender.spr_entries >= 1
+    assert not pipe.sender.spr_mode          # recovered
+    assert pipe.sender.rto.max_backoff == pipe.sender._normal_backoff_cap
+
+
+def test_spr_pacing_spreads_transmissions():
+    sim = Simulator()
+    state = {"count": 0}
+
+    def drop_early(p):
+        if p.kind == DATA and state["count"] < 3:
+            state["count"] += 1
+            return True
+        return False
+
+    pipe = make_pipe(sim, total_segments=None, drop_data=drop_early, initial_cwnd=1)
+    pipe.sender.open()
+    sim.run(until=5.0)
+    if pipe.sender.spr_mode:
+        # While paced, at most SPR_WINDOW_CAP outstanding.
+        assert pipe.sender._pipe() <= SprSender.SPR_WINDOW_CAP
+
+
+def test_spr_registered_as_variant():
+    from repro.net.topology import Dumbbell
+    from repro.tcp.flow import TcpFlow
+
+    sim = Simulator()
+    bell = Dumbbell(sim, 1_000_000, 0.1)
+    flow = TcpFlow(bell, 1, size_segments=20, variant="spr")
+    assert isinstance(flow.sender, SprSender)
+    sim.run(until=30.0)
+    assert flow.done

@@ -1,0 +1,204 @@
+"""Unit tests for the TFRC implementation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import ACK, DATA, Packet
+from repro.net.topology import Dumbbell
+from repro.sim.simulator import Simulator
+from repro.tcp.tfrc import (
+    LossHistory,
+    TfrcFlow,
+    TfrcReceiver,
+    TfrcSender,
+    tfrc_throughput,
+)
+
+
+# ------------------------------------------------------------- equation
+def test_throughput_equation_matches_simple_form_at_small_p():
+    # For small p the equation approaches s / (R sqrt(2p/3)) — the
+    # "TCP-friendly rate" of the paper's introduction.
+    s, rtt, p = 500, 0.2, 0.001
+    simple = s / (rtt * math.sqrt(2 * p / 3))
+    assert tfrc_throughput(s, rtt, p) == pytest.approx(simple, rel=0.1)
+
+
+def test_throughput_equation_decreases_with_p():
+    rates = [tfrc_throughput(500, 0.2, p) for p in (0.01, 0.05, 0.1, 0.3)]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_throughput_infinite_without_loss():
+    assert tfrc_throughput(500, 0.2, 0.0) == float("inf")
+
+
+def test_throughput_validates_rtt():
+    with pytest.raises(ValueError):
+        tfrc_throughput(500, 0.0, 0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=1e-4, max_value=0.5))
+def test_property_friendly_rate_exceeds_one_packet_per_rtt(p):
+    # The paper's observation: sqrt(3/2)/(RTT sqrt(p)) >= sqrt(3/2)
+    # packets per RTT for any p < 1 — the assumption the regime breaks.
+    rtt = 0.2
+    simple_rate_pkts_per_rtt = math.sqrt(3.0 / 2.0) / math.sqrt(p)
+    assert simple_rate_pkts_per_rtt >= math.sqrt(3.0 / 2.0)
+
+
+# ---------------------------------------------------------- loss history
+def test_loss_history_single_event_rate():
+    history = LossHistory()
+    for _ in range(99):
+        history.packet_received()
+    history.loss_event(1.0, rtt=0.2)
+    assert history.loss_event_rate() == pytest.approx(1 / 99)
+
+
+def test_losses_within_rtt_coalesce():
+    history = LossHistory()
+    for _ in range(50):
+        history.packet_received()
+    assert history.loss_event(1.0, rtt=0.2)
+    assert not history.loss_event(1.1, rtt=0.2)   # same event
+    assert history.loss_event(1.5, rtt=0.2)       # new event
+
+
+def test_no_events_means_zero_rate():
+    history = LossHistory()
+    history.packet_received()
+    assert history.loss_event_rate() == 0.0
+
+
+def test_weighted_average_uses_recent_intervals_more():
+    history = LossHistory()
+    # Two eras: long intervals first, then short ones.
+    for interval in (100, 100, 100, 100, 5, 5, 5, 5):
+        for _ in range(interval):
+            history.packet_received()
+        history.last_event_time = None  # force distinct events
+        history.loss_event(0.0, rtt=0.1)
+    # Recent short intervals dominate: rate well above 1/100.
+    assert history.loss_event_rate() > 1 / 50
+
+
+# ------------------------------------------------------------- receiver
+def test_receiver_detects_gap_and_sends_feedback():
+    sim = Simulator()
+    sent = []
+    receiver = TfrcReceiver(sim, 1, send=sent.append, rtt_hint=0.1)
+    for seq in (0, 1, 3):  # gap at 2
+        pkt = Packet(1, DATA, seq=seq, size=500)
+        pkt.sent_at = sim.now
+        receiver.receive(pkt, sim.now)
+    sim.run(until=1.0)
+    assert len(sent) >= 1
+    feedback = sent[0]
+    assert feedback.fb_loss_rate > 0
+    assert feedback.fb_recv_rate > 0
+    assert feedback.ack_seq == 4
+
+
+def test_receiver_feedback_paced_once_per_rtt():
+    sim = Simulator()
+    sent = []
+    receiver = TfrcReceiver(sim, 1, send=sent.append, rtt_hint=0.5)
+
+    def pump():
+        pkt = Packet(1, DATA, seq=pump.seq, size=500)
+        pkt.sent_at = sim.now
+        receiver.receive(pkt, sim.now)
+        pump.seq += 1
+        if sim.now < 2.0:
+            sim.schedule(0.01, pump)
+
+    pump.seq = 0
+    sim.schedule(0.0, pump)
+    sim.run(until=2.5)
+    assert 3 <= len(sent) <= 6  # ~one per 0.5 s
+
+
+# --------------------------------------------------------------- sender
+def test_sender_paces_at_configured_rate():
+    sim = Simulator()
+    out = []
+    sender = TfrcSender(sim, 1, transmit=out.append, mss=500, rtt_hint=0.1)
+    sender.rate_bytes = 5000.0  # 10 packets/s
+    sender.open()
+    sender._no_feedback_timer.cancel()  # isolate pure pacing
+    sim.run(until=1.0)
+    assert 8 <= len(out) <= 12
+
+
+def test_sender_slows_down_on_reported_loss():
+    sim = Simulator()
+    sender = TfrcSender(sim, 1, transmit=lambda p: None, mss=500, rtt_hint=0.2)
+    sender.open()
+    sender.rate_bytes = 100_000.0
+    feedback = Packet(1, ACK, ack_seq=10)
+    feedback.fb_loss_rate = 0.2
+    feedback.fb_recv_rate = 50_000.0
+    feedback.fb_echo = None
+    sender.receive(feedback, 1.0)
+    assert sender.rate_bytes < 100_000.0
+    assert sender.rate_bytes == pytest.approx(
+        tfrc_throughput(500, sender.rtt, 0.2), rel=1e-6
+    )
+
+
+def test_sender_slow_starts_without_loss():
+    sim = Simulator()
+    sender = TfrcSender(sim, 1, transmit=lambda p: None, mss=500, rtt_hint=0.2)
+    sender.open()
+    before = sender.rate_bytes
+    feedback = Packet(1, ACK, ack_seq=5)
+    feedback.fb_loss_rate = 0.0
+    feedback.fb_recv_rate = 1e9
+    sender.receive(feedback, 0.5)
+    assert sender.rate_bytes == pytest.approx(2 * before)
+
+
+def test_sender_rtt_sample_from_echo():
+    sim = Simulator()
+    sender = TfrcSender(sim, 1, transmit=lambda p: None, rtt_hint=0.2)
+    feedback = Packet(1, ACK, ack_seq=1)
+    feedback.fb_loss_rate = 0.0
+    feedback.fb_recv_rate = 1000.0
+    feedback.fb_echo = 1.0
+    sender.receive(feedback, 1.4)  # 0.4 s sample
+    assert sender.rtt > 0.2
+
+
+def test_no_feedback_timer_halves_rate():
+    sim = Simulator()
+    sender = TfrcSender(sim, 1, transmit=lambda p: None, mss=500, rtt_hint=0.1)
+    sender.rate_bytes = 10_000.0
+    sender.open()
+    sim.run(until=1.0)  # several no-feedback periods elapse
+    assert sender.rate_bytes < 10_000.0
+
+
+def test_tfrc_flow_end_to_end_completes():
+    sim = Simulator(seed=6)
+    bell = Dumbbell(sim, 1_000_000, 0.1)
+    flow = TfrcFlow(bell, 1, size_segments=50, start_time=0.0)
+    sim.run(until=60.0)
+    assert flow.done
+
+
+def test_tfrc_contention_rates_stay_bounded():
+    sim = Simulator(seed=6)
+    bell = Dumbbell(sim, 200_000, 0.2)
+    flows = [TfrcFlow(bell, i, size_segments=None, start_time=0.1 * i)
+             for i in range(40)]
+    sim.run(until=60.0)
+    # Under 5 Kbps fair share TFRC must have throttled far below its
+    # initial equation-free growth.
+    for flow in flows:
+        assert flow.sender.rate_bytes < 200_000 / 8
+    assert bell.forward.stats.utilization(200_000, 60.0) > 0.7

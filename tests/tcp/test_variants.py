@@ -1,0 +1,140 @@
+"""Unit tests for the Tahoe and CUBIC senders."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.tcp.variants import VARIANTS, CubicSender, TahoeSender
+
+from tests.tcp.helpers import Loopback
+
+
+class TahoeLoopback(Loopback):
+    pass
+
+
+def make_pipe(sim, sender_cls, **kwargs):
+    """Build a loopback whose sender is *sender_cls*."""
+    pipe = Loopback(sim, **kwargs)
+    # Rebuild the sender with the variant class, rewiring the callbacks.
+    old = pipe.sender
+    pipe.sender = sender_cls(
+        sim,
+        1,
+        transmit=pipe._to_receiver,
+        total_segments=old.total_segments,
+        initial_cwnd=old.initial_cwnd,
+        rto=old.rto,
+    )
+    return pipe
+
+
+def test_variant_registry_complete():
+    assert set(VARIANTS) == {"newreno", "sack", "tahoe", "cubic", "spr"}
+    sim = Simulator()
+    for name, factory in VARIANTS.items():
+        sender = factory(sim, 1, transmit=lambda p: None)
+        assert sender.flow_id == 1
+
+
+def test_tahoe_lossless_transfer_completes():
+    sim = Simulator()
+    pipe = make_pipe(sim, TahoeSender, total_segments=30)
+    pipe.run()
+    assert pipe.sender.done
+
+
+def test_tahoe_collapses_window_on_dupacks():
+    sim = Simulator()
+    state = {"dropped": False}
+
+    def drop_one(p):
+        if p.kind == "data" and p.seq == 5 and not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    pipe = make_pipe(sim, TahoeSender, total_segments=60, drop_data=drop_one,
+                     initial_cwnd=10)
+    pipe.sender.open()
+    sim.run(until=0.35)  # past the dupACKs, before much regrowth
+    assert pipe.sender.stats.fast_retransmits == 1
+    assert pipe.sender.cwnd < 4.0  # collapsed, unlike NewReno's ssthresh+3
+    sim.run(until=60.0)
+    assert pipe.sender.done
+
+
+def test_cubic_defaults_to_iw10():
+    sim = Simulator()
+    sender = CubicSender(sim, 1, transmit=lambda p: None)
+    assert sender.initial_cwnd == 10.0
+
+
+def test_cubic_lossless_transfer_completes():
+    sim = Simulator()
+    pipe = make_pipe(sim, CubicSender, total_segments=100)
+    pipe.run()
+    assert pipe.sender.done
+    assert pipe.receiver.rcv_next == 100
+
+
+def test_cubic_window_function_shape():
+    sim = Simulator()
+    sender = CubicSender(sim, 1, transmit=lambda p: None)
+    sender._w_max = 20.0
+    sender._epoch_start = 0.0
+    k = ((20.0 * CubicSender.BETA) / CubicSender.C) ** (1.0 / 3.0)
+    # At t = K the window equals W_max (the plateau).
+    sim.now = k
+    assert sender._cubic_window(sim.now) == pytest.approx(20.0)
+    # Concave before the plateau, convex growth after.
+    sim.now = k + 2.0
+    after = sender._cubic_window(sim.now)
+    assert after > 20.0
+
+
+def test_cubic_reduction_records_wmax_and_restarts_epoch():
+    sim = Simulator()
+    state = {"dropped": False}
+
+    def drop_one(p):
+        if p.kind == "data" and p.seq == 20 and not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    pipe = make_pipe(sim, CubicSender, total_segments=200, drop_data=drop_one)
+    pipe.run(until=120.0)
+    assert pipe.sender.done
+    assert pipe.sender._epoch_start >= 0.0
+    assert pipe.sender.stats.fast_retransmits + pipe.sender.stats.timeouts >= 1
+
+
+def test_flow_variant_selection():
+    from repro.net.topology import Dumbbell
+    from repro.tcp.flow import TcpFlow
+
+    sim = Simulator()
+    bell = Dumbbell(sim, 1_000_000, 0.1)
+    cubic = TcpFlow(bell, 1, size_segments=10, variant="cubic", initial_cwnd=None)
+    assert isinstance(cubic.sender, CubicSender)
+    assert cubic.variant == "cubic"
+    sack = TcpFlow(bell, 2, size_segments=10, variant="sack")
+    assert sack.sender.sack_enabled
+    assert sack.receiver.sack_enabled
+    with pytest.raises(ValueError):
+        TcpFlow(bell, 3, size_segments=10, variant="vegas")
+
+
+def test_all_variants_complete_over_dumbbell():
+    from repro.net.topology import Dumbbell
+    from repro.tcp.flow import TcpFlow
+
+    sim = Simulator(seed=4)
+    bell = Dumbbell(sim, 1_000_000, 0.1)
+    flows = [
+        TcpFlow(bell, i, size_segments=40, variant=v, start_time=0.2 * i,
+                initial_cwnd=None)
+        for i, v in enumerate(VARIANTS)
+    ]
+    sim.run(until=60.0)
+    assert all(f.done for f in flows)

@@ -1,0 +1,77 @@
+"""Public-API hygiene: __all__ is accurate and imports are clean.
+
+A downstream user's first contact is ``from repro import ...`` and the
+subpackage façades; every name advertised in an ``__all__`` must exist,
+and the headline classes must be importable from the documented paths.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.tcp",
+    "repro.queues",
+    "repro.model",
+    "repro.core",
+    "repro.metrics",
+    "repro.workloads",
+    "repro.testbed",
+    "repro.overlay",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} advertised but missing"
+
+
+def test_headline_imports():
+    from repro import Dumbbell, Simulator, TcpFlow  # noqa: F401
+    from repro.core import AdmissionController, TAQQueue, taq_report  # noqa: F401
+    from repro.model import build_partial_model, find_tipping_point  # noqa: F401
+    from repro.overlay import ArqTunnel, OverlayDumbbell  # noqa: F401
+    from repro.tcp.spr import SprSender  # noqa: F401
+    from repro.tcp.tfrc import TfrcFlow  # noqa: F401
+
+
+def test_version_is_set():
+    import repro
+
+    assert repro.__version__
+
+
+def test_experiment_modules_expose_config_and_run():
+    from repro.experiments.cli import EXPERIMENTS
+
+    for key, (module_name, _description) in EXPERIMENTS.items():
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "Config"), key
+        assert hasattr(module, "run"), key
+        assert hasattr(module.Config, "paper"), key
+
+
+def test_queue_disciplines_share_interface():
+    import random
+
+    from repro.core import TAQQueue
+    from repro.queues import DropTailQueue, REDQueue, SFQQueue
+
+    instances = [
+        DropTailQueue(10),
+        REDQueue(10, random.Random(1)),
+        SFQQueue(10),
+        TAQQueue(10),
+    ]
+    for queue in instances:
+        assert callable(queue.enqueue)
+        assert callable(queue.dequeue)
+        assert len(queue) == 0
+        assert queue.loss_rate() == 0.0

@@ -1,0 +1,99 @@
+"""Tests for Squid access-log reading/writing."""
+
+import io
+
+import pytest
+
+from repro.workloads import generate_trace, read_trace, write_trace
+from repro.workloads.logfmt import (
+    LogParseError,
+    parse_line,
+    read_trace_file,
+    write_trace_file,
+)
+
+SAMPLE = """\
+1000000000.123    250 192.168.1.10 TCP_MISS/200 15000 GET http://a.example/x - DIRECT/a.example text/html
+1000000001.000    100 192.168.1.11 TCP_HIT/200 4000 GET http://b.example/y - NONE/- image/png
+1000000002.500    900 192.168.1.10 TCP_MISS/200 98000 GET http://c.example/z - DIRECT/c.example text/css
+
+# a comment line
+1000000003.000     50 192.168.1.12 TCP_MISS/404 0 GET http://d.example/q - DIRECT/d.example text/html
+"""
+
+
+def test_parse_line_fields():
+    time, client, size, code = parse_line(SAMPLE.splitlines()[0])
+    assert time == pytest.approx(1000000000.123)
+    assert client == "192.168.1.10"
+    assert size == 15000
+    assert code == "TCP_MISS"
+
+
+def test_parse_line_skips_blank_and_comments():
+    assert parse_line("") is None
+    assert parse_line("   ") is None
+    assert parse_line("# hello") is None
+
+
+def test_parse_line_rejects_garbage():
+    with pytest.raises(LogParseError):
+        parse_line("only three fields here")
+    with pytest.raises(LogParseError):
+        parse_line("notatime 250 c TCP_MISS/200 100 GET url - peer type")
+
+
+def test_read_trace_skips_cache_hits_and_empty_objects():
+    trace = read_trace(SAMPLE.splitlines())
+    # The TCP_HIT and the 0-byte entries are skipped.
+    assert len(trace.requests) == 2
+    assert trace.n_clients == 1  # both remaining requests are 192.168.1.10
+    sizes = [r.size_bytes for r in trace.requests]
+    assert sizes == [15000, 98000]
+
+
+def test_read_trace_rebases_time():
+    trace = read_trace(SAMPLE.splitlines())
+    assert trace.requests[0].time == 0.0
+    assert trace.requests[1].time == pytest.approx(2.377)
+
+
+def test_read_trace_keeps_hits_when_asked():
+    trace = read_trace(SAMPLE.splitlines(), skip_cache_hits=False)
+    assert len(trace.requests) == 3
+    assert trace.n_clients == 2
+
+
+def test_empty_log():
+    trace = read_trace([])
+    assert trace.requests == []
+    assert trace.n_clients == 0
+
+
+def test_round_trip_preserves_requests():
+    original = generate_trace(seed=5, n_clients=6, duration=50.0,
+                              requests_per_client_per_sec=0.2)
+    buffer = io.StringIO()
+    written = write_trace(original, buffer)
+    assert written == len(original.requests)
+    buffer.seek(0)
+    recovered = read_trace(buffer)
+    assert len(recovered.requests) == len(original.requests)
+    assert [r.size_bytes for r in recovered.requests] == [
+        r.size_bytes for r in original.requests
+    ]
+    # Times survive to log precision (ms), modulo the reader's rebasing
+    # to the first request.
+    base = original.requests[0].time
+    for a, b in zip(recovered.requests, original.requests):
+        assert a.time == pytest.approx(b.time - base, abs=0.002)
+
+
+def test_file_round_trip(tmp_path):
+    trace = generate_trace(seed=2, n_clients=3, duration=20.0,
+                           requests_per_client_per_sec=0.3)
+    path = tmp_path / "access.log"
+    write_trace_file(trace, str(path))
+    recovered = read_trace_file(str(path))
+    assert len(recovered.requests) == len(trace.requests)
+    assert recovered.n_clients == trace.n_clients

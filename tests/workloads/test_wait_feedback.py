@@ -1,0 +1,63 @@
+"""Tests for the §4.3 informed-wait client."""
+
+import itertools
+
+import pytest
+
+from repro.core import AdmissionController, TAQQueue
+from repro.net.topology import Dumbbell
+from repro.sim.simulator import Simulator
+from repro.workloads.web import WebUser
+
+
+def make_congested_controller(t_wait=3.0):
+    ctrl = AdmissionController(t_wait=t_wait)
+    for t in (0.0, ctrl.measure_interval + 0.1):
+        for i in range(200):
+            ctrl.note_arrival(t)
+            if i % 4 == 0:
+                ctrl.note_drop(t)
+    ctrl.note_arrival(2 * ctrl.measure_interval + 0.3)
+    return ctrl
+
+
+def test_informed_user_waits_out_the_promise():
+    sim = Simulator(seed=1)
+    ctrl = make_congested_controller()
+    queue = TAQQueue.for_link(1_000_000, rtt=0.1, admission=ctrl)
+    bell = Dumbbell(sim, 1_000_000, 0.1, queue=queue)
+    # Another pool is already queued ahead of us.
+    assert not ctrl.admits(99, 3.0)
+    user = WebUser(
+        bell, 7, [5_000, 5_000], itertools.count(0),
+        connections=2, start_time=3.0, wait_feedback=ctrl,
+    )
+    sim.run(until=60.0)
+    assert user.done
+    assert user.waits_observed >= 1
+    # The informed user produced no refused SYNs of its own pool: it
+    # only connected once admitted (or the gate reopened).
+    assert all(f.sender.stats.syn_retries <= 1 for f in user.flows)
+
+
+def test_open_gate_means_no_wait():
+    sim = Simulator(seed=1)
+    ctrl = AdmissionController()
+    queue = TAQQueue.for_link(1_000_000, rtt=0.1, admission=ctrl)
+    bell = Dumbbell(sim, 1_000_000, 0.1, queue=queue)
+    user = WebUser(
+        bell, 3, [5_000], itertools.count(0),
+        connections=1, start_time=0.0, wait_feedback=ctrl,
+    )
+    sim.run(until=30.0)
+    assert user.done
+    assert user.waits_observed == 0
+
+
+def test_uninformed_user_unaffected():
+    sim = Simulator(seed=1)
+    bell = Dumbbell(sim, 1_000_000, 0.1)
+    user = WebUser(bell, 3, [5_000], itertools.count(0), connections=1)
+    sim.run(until=30.0)
+    assert user.done
+    assert user.waits_observed == 0

@@ -1,0 +1,157 @@
+"""Tests for the workload generators (bulk, web, short flows, traces)."""
+
+import pytest
+
+from repro.net.topology import Dumbbell
+from repro.sim.simulator import Simulator
+from repro.workloads import (
+    generate_trace,
+    replay_trace,
+    sample_object_size,
+    spawn_bulk_flows,
+    spawn_short_flows,
+    spawn_web_users,
+)
+
+
+def make_bell(capacity=1_000_000, rtt=0.1, seed=3):
+    sim = Simulator(seed=seed)
+    return sim, Dumbbell(sim, capacity, rtt)
+
+
+# ---------------------------------------------------------------- bulk
+def test_bulk_flows_created_with_jitter():
+    sim, bell = make_bell()
+    flows = spawn_bulk_flows(bell, 10, start_window=5.0)
+    assert len(flows) == 10
+    starts = [f.start_time for f in flows]
+    assert min(starts) >= 0.0 and max(starts) < 5.0
+    assert len(set(starts)) > 1
+
+
+def test_bulk_flows_deterministic_per_seed():
+    sim_a, bell_a = make_bell(seed=9)
+    sim_b, bell_b = make_bell(seed=9)
+    a = [f.start_time for f in spawn_bulk_flows(bell_a, 5)]
+    b = [f.start_time for f in spawn_bulk_flows(bell_b, 5)]
+    assert a == b
+
+
+def test_bulk_flows_run_and_progress():
+    sim, bell = make_bell()
+    flows = spawn_bulk_flows(bell, 5, size_segments=20)
+    sim.run(until=30.0)
+    assert all(f.done for f in flows)
+
+
+def test_bulk_validation():
+    sim, bell = make_bell()
+    with pytest.raises(ValueError):
+        spawn_bulk_flows(bell, 0)
+
+
+# ----------------------------------------------------------------- web
+def test_web_user_fetches_all_objects():
+    sim, bell = make_bell()
+    users = spawn_web_users(bell, 2, objects_per_user=3, size_bytes=2_000,
+                            connections=2, start_window=1.0)
+    sim.run(until=60.0)
+    for user in users:
+        assert user.done
+        assert len(user.samples) == 3
+        assert all(s.duration > 0 for s in user.samples)
+
+
+def test_web_user_pool_limits_concurrency():
+    sim, bell = make_bell()
+    users = spawn_web_users(bell, 1, objects_per_user=8, size_bytes=50_000,
+                            connections=2, start_window=0.0)
+    user = users[0]
+    sim.run(until=2.0)
+    # Never more than `connections` flows in flight.
+    active = sum(1 for f in user.flows if not f.done)
+    assert active <= 2
+
+
+def test_web_user_flows_carry_pool_id():
+    sim, bell = make_bell()
+    users = spawn_web_users(bell, 2, objects_per_user=1, start_window=0.0)
+    sim.run(until=30.0)
+    for user in users:
+        assert all(f.pool_id == user.user_id for f in user.flows)
+
+
+def test_web_user_delivery_times_merged_sorted():
+    sim, bell = make_bell()
+    users = spawn_web_users(bell, 1, objects_per_user=2, size_bytes=5_000,
+                            connections=2, start_window=0.0)
+    sim.run(until=30.0)
+    times = users[0].delivery_times()
+    assert times == sorted(times)
+    assert len(times) > 0
+
+
+def test_web_unique_flow_ids_across_users():
+    sim, bell = make_bell()
+    users = spawn_web_users(bell, 3, objects_per_user=2, start_window=0.0)
+    sim.run(until=60.0)
+    ids = [f.flow_id for u in users for f in u.flows]
+    assert len(ids) == len(set(ids))
+
+
+# --------------------------------------------------------- short flows
+def test_short_flows_spacing_and_lengths():
+    sim, bell = make_bell()
+    flows = spawn_short_flows(bell, [1, 5, 10], start_time=2.0, spacing=1.5)
+    assert [f.size_segments for f in flows] == [1, 5, 10]
+    assert [f.start_time for f in flows] == [2.0, 3.5, 5.0]
+
+
+def test_short_flows_validation():
+    sim, bell = make_bell()
+    with pytest.raises(ValueError):
+        spawn_short_flows(bell, [0], start_time=0.0)
+
+
+# -------------------------------------------------------------- traces
+def test_trace_generation_shape():
+    trace = generate_trace(seed=1, n_clients=10, duration=100.0)
+    assert trace.n_clients == 10
+    assert all(0 <= r.time < 100.0 for r in trace.requests)
+    times = [r.time for r in trace.requests]
+    assert times == sorted(times)
+    assert set(r.client_id for r in trace.requests) <= set(range(10))
+
+
+def test_trace_sizes_heavy_tailed_and_clipped():
+    import random
+
+    rng = random.Random(4)
+    sizes = [sample_object_size(rng) for _ in range(3000)]
+    assert min(sizes) >= 100
+    assert max(sizes) <= 2_000_000
+    small = sum(1 for s in sizes if s < 100_000)
+    assert small / len(sizes) > 0.7  # mass in the web-page range
+
+
+def test_trace_deterministic():
+    a = generate_trace(seed=7, n_clients=5, duration=50.0)
+    b = generate_trace(seed=7, n_clients=5, duration=50.0)
+    assert a.requests == b.requests
+
+
+def test_trace_replay_creates_users():
+    sim, bell = make_bell()
+    trace = generate_trace(seed=2, n_clients=5, duration=30.0,
+                           requests_per_client_per_sec=0.2,
+                           max_object_bytes=20_000)
+    users = replay_trace(bell, trace, max_objects_per_client=2)
+    assert 0 < len(users) <= 5
+    sim.run(until=120.0)
+    fetched = sum(len(u.samples) for u in users)
+    assert fetched > 0
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        generate_trace(n_clients=0)
