@@ -65,10 +65,8 @@ def test_end_to_end_simulation_rate(benchmark):
     def run_sim():
         sim = Simulator(seed=3)
         bell = Dumbbell(sim, 1_000_000, 0.2)
-        flows = [
+        for i in range(50):
             TcpFlow(bell, i, size_segments=None, start_time=0.01 * i)
-            for i in range(50)
-        ]
         sim.run(until=20.0)
         return bell.forward.stats.delivered
 

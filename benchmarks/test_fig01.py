@@ -11,7 +11,6 @@ Shape asserted (paper §2.2, Fig 1):
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig01_download_times as fig1
-from repro.metrics.downloads import log_bucket
 
 
 def small_config():

@@ -1,0 +1,91 @@
+"""ENGINE bench — the Fig 2 sweep through the parallel executor.
+
+Shape asserted:
+
+- ``jobs=4`` returns bit-identical points to the sequential path
+  (per-point seeding makes scheduling invisible);
+- on a machine with >= 4 cores, fanning the sweep out is at least a
+  2x wall-clock win (the pool's fork/pickle overhead is a fraction of
+  a point's simulation time);
+- a cached re-run is at least 10x faster than computing the sweep.
+
+The speedup assertion self-skips on smaller machines (e.g. a 1-core
+container), where there is nothing to fan out over; determinism and
+cache behavior are asserted everywhere.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import run_sweep
+from repro.parallel import ResultCache
+
+# A 12-point Fig 2 grid, duration-trimmed: big enough that the pool
+# overhead is amortized, small enough for a benchmark run.
+FIG2_GRID = dict(
+    kind="droptail",
+    capacities_bps=(200_000.0, 400_000.0, 600_000.0),
+    fair_shares_bps=(5_000.0, 10_000.0, 20_000.0, 40_000.0),
+)
+
+
+def run_grid(jobs, cache=None):
+    return run_sweep(
+        FIG2_GRID["kind"],
+        FIG2_GRID["capacities_bps"],
+        FIG2_GRID["fair_shares_bps"],
+        jobs=jobs,
+        cache=cache,
+        duration=60.0,
+    )
+
+
+def test_fig02_sweep_parallel_speedup(benchmark):
+    start = time.perf_counter()
+    sequential = run_grid(jobs=1)
+    sequential_s = time.perf_counter() - start
+
+    timing = {}
+
+    def parallel_run():
+        start = time.perf_counter()
+        points = run_grid(jobs=4)
+        timing["parallel_s"] = time.perf_counter() - start
+        return points
+
+    parallel = run_once(benchmark, parallel_run)
+    parallel_s = timing["parallel_s"]
+    speedup = sequential_s / parallel_s
+
+    benchmark.extra_info["sequential_s"] = round(sequential_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cores"] = os.cpu_count()
+
+    # Identical tables regardless of jobs: the tentpole guarantee.
+    assert parallel == sequential
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x at --jobs 4 on {os.cpu_count()} cores, "
+            f"got {speedup:.2f}x ({sequential_s:.2f}s -> {parallel_s:.2f}s)"
+        )
+
+
+def test_fig02_sweep_cached_rerun(benchmark, tmp_path):
+    cache = ResultCache(root=str(tmp_path), version="bench")
+    start = time.perf_counter()
+    first = run_grid(jobs=1, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    warm = run_once(benchmark, run_grid, jobs=1, cache=cache)
+    assert warm == first
+    assert cache.hits == len(first)
+
+    start = time.perf_counter()
+    run_grid(jobs=1, cache=cache)
+    warm_s = time.perf_counter() - start
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    assert warm_s * 10 < cold_s, "cached re-run should be >= 10x faster"

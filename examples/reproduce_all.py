@@ -3,15 +3,23 @@
 
 Runs each experiment at its default laptop-scale configuration, prints
 the result tables, and writes one CSV per experiment into ``results/``
-so the series can be re-plotted with any tool.  Expect a few minutes of
-wall time.
+so the series can be re-plotted with any tool.
 
-Run:  python examples/reproduce_all.py [output_dir]
+The grid experiments (figs 2/3/8/11, variants) fan their points across
+worker processes — ``--jobs 1`` forces the sequential path, which
+produces bit-identical tables.  Point results are cached on disk
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by the point spec
+plus a hash of the package source, so a re-run only recomputes what
+changed; ``--no-cache`` bypasses that.
+
+Run:  python examples/reproduce_all.py [output_dir] [--jobs N]
+      [--no-cache] [--only fig02,fig08]
 """
 
+import argparse
 import importlib
+import inspect
 import os
-import sys
 import time
 
 EXPERIMENTS = [
@@ -34,30 +42,67 @@ EXPERIMENTS = [
 ]
 
 
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output_dir", nargs="?", default="results",
+                        help="directory for the per-experiment CSVs")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for grid experiments "
+                             "(default: one per CPU; 1 = sequential)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, ignoring the result cache")
+    parser.add_argument("--only", default=None, metavar="IDS",
+                        help="comma-separated experiment ids to run "
+                             "(e.g. 'fig02,fig08'); default: everything")
+    return parser.parse_args()
+
+
 def main() -> None:
-    output_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
-    os.makedirs(output_dir, exist_ok=True)
+    args = parse_args()
+    selected = EXPERIMENTS
+    if args.only:
+        wanted = [name.strip() for name in args.only.split(",") if name.strip()]
+        known = {name for name, _ in EXPERIMENTS}
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            raise SystemExit(f"unknown experiment ids: {', '.join(unknown)}")
+        selected = [(name, mod) for name, mod in EXPERIMENTS if name in wanted]
+
+    from repro.parallel import ProgressPrinter, ResultCache
+
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    cache = None if args.no_cache else ResultCache()
+
+    os.makedirs(args.output_dir, exist_ok=True)
     grand_start = time.time()
     written = []
-    for name, module_name in EXPERIMENTS:
+    for name, module_name in selected:
         module = importlib.import_module(module_name)
+        extra = {}
+        if "jobs" in inspect.signature(module.run).parameters:
+            extra = {"jobs": jobs, "cache": cache,
+                     "progress": ProgressPrinter(name)}
         start = time.time()
-        result = module.run(module.Config())
+        result = module.run(module.Config(), **extra)
         elapsed = time.time() - start
         print(f"\n{'#' * 70}\n# {name}  ({elapsed:.0f}s)\n{'#' * 70}")
         print(result)
-        path = os.path.join(output_dir, f"{name}.csv")
+        path = os.path.join(args.output_dir, f"{name}.csv")
         result.table().write_csv(path)
         written.append(path)
 
-    from repro.model import find_tipping_point
+    if not args.only:
+        from repro.model import find_tipping_point
 
-    print(f"\n{'#' * 70}\n# tipping point\n{'#' * 70}")
-    print(f"partial model: p ~ {find_tipping_point('partial'):.3f} "
-          f"(paper: ~0.1, used as p_thresh)")
+        print(f"\n{'#' * 70}\n# tipping point\n{'#' * 70}")
+        print(f"partial model: p ~ {find_tipping_point('partial'):.3f} "
+              f"(paper: ~0.1, used as p_thresh)")
 
     total = time.time() - grand_start
-    print(f"\nDone in {total:.0f}s.  CSVs written:")
+    print(f"\nDone in {total:.0f}s with {jobs} job(s).", end="")
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"  Cache: {cache.hits} hit(s), {cache.misses} miss(es).", end="")
+    print("  CSVs written:")
     for path in written:
         print(f"  {path}")
     print("\nCompare against EXPERIMENTS.md for the paper-vs-measured scorecard.")

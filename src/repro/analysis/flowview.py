@@ -13,7 +13,7 @@ these helpers reconstruct what the paper reads off its pcaps:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.analysis.trace import TraceRecord
 

@@ -29,7 +29,7 @@ queue feeds it.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
 
 class AdmissionController:

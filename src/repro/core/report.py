@@ -12,7 +12,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
-from repro.core.scheduler import PacketClass
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.taq import TAQQueue

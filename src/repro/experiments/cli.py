@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -33,6 +35,30 @@ EXPERIMENTS = {
     "pool": ("repro.experiments.pool_fairness", "§4.3: per-flow vs per-pool fairness"),
     "rttf": ("repro.experiments.rtt_fairness", "§4.2 footnote: fairness models vs heterogeneous RTTs"),
 }
+
+
+def engine_kwargs(module, args) -> dict:
+    """Parallel-engine kwargs for ``module.run``, if it supports them.
+
+    Grid experiments accept ``jobs``/``cache``/``progress``; the
+    single-scenario ones don't, and get nothing (with a note if the
+    user asked for parallelism anyway).
+    """
+    parameters = inspect.signature(module.run).parameters
+    if "jobs" not in parameters:
+        if args.jobs is not None and args.jobs != 1:
+            print(
+                f"(note: {args.experiment} runs a single scenario; --jobs ignored)",
+                file=sys.stderr,
+            )
+        return {}
+    from repro.parallel import ProgressPrinter, ResultCache
+
+    return {
+        "jobs": args.jobs if args.jobs is not None else os.cpu_count() or 1,
+        "cache": None if args.no_cache else ResultCache(),
+        "progress": ProgressPrinter(args.experiment),
+    }
 
 
 def _run_tipping_point() -> int:
@@ -66,6 +92,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="use parameters close to the published setup (much slower)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for grid experiments (default: one per CPU; "
+             "1 forces the sequential path — results are identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point instead of reusing the on-disk result "
+             "cache ($REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     parser.add_argument(
         "--csv", metavar="PATH", default=None,
         help="also write the result table as CSV to PATH",
@@ -108,7 +144,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = module.Config.paper() if args.paper else module.Config()
     if args.seed is not None:
         config.seed = args.seed
-    result = module.run(config)
+    result = module.run(config, **engine_kwargs(module, args))
     print(result)
     if args.csv:
         result.table().write_csv(args.csv)

@@ -90,11 +90,14 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config()) -> Result:
+def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
     points = run_sweep(
         config.queue_kind,
         config.capacities_bps,
         config.fair_shares_bps,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
         duration=config.duration,
         rtt=config.rtt,
         slice_seconds=config.slice_seconds,

@@ -11,9 +11,10 @@ delay) each JFI level costs — §2.4's "trading delay for fairness".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.runner import TableResult, build_dumbbell
+from repro.parallel import ParallelRunner, PointSpec
 from repro.workloads import spawn_bulk_flows
 
 
@@ -71,30 +72,80 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config()) -> Result:
+@dataclass
+class BufferPoint:
+    """One measured (fair share, buffer) cell — picklable."""
+
+    fair_share_pkts: float
+    buffer_rtts: float
+    jfi: float
+    mean_delay: float
+    p95_delay: float
+
+
+def run_buffer_point(
+    fair_share_pkts: float,
+    buffer_rtts: float,
+    capacity_bps: float,
+    rtt: float,
+    pkt_size: int,
+    slice_seconds: float,
+    seed: int,
+    duration: float,
+) -> BufferPoint:
+    """Measure one (fair share, buffer) cell of the tradeoff grid."""
+    fair_share_bps = fair_share_pkts * pkt_size * 8 / rtt
+    n_flows = max(2, round(capacity_bps / fair_share_bps))
+    bench = build_dumbbell(
+        "droptail",
+        capacity_bps,
+        rtt=rtt,
+        pkt_size=pkt_size,
+        seed=seed,
+        slice_seconds=slice_seconds,
+        buffer_rtts=buffer_rtts,
+    )
+    flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    bench.sim.run(until=duration)
+    stats = bench.bell.forward.stats
+    return BufferPoint(
+        fair_share_pkts=fair_share_pkts,
+        buffer_rtts=buffer_rtts,
+        jfi=bench.collector.mean_short_term_jain([f.flow_id for f in flows]),
+        mean_delay=stats.mean_queue_delay(),
+        p95_delay=stats.queue_delay_percentile(95),
+    )
+
+
+def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
     result = Result()
+    specs = []
     for buffer_rtts in config.buffer_rtts:
         # Max queueing delay this buffer implies at line rate.
         result.max_delay[buffer_rtts] = buffer_rtts * config.rtt
         for fair_share_pkts in config.fair_shares_pkts_per_rtt:
-            fair_share_bps = fair_share_pkts * config.pkt_size * 8 / config.rtt
-            n_flows = max(2, round(config.capacity_bps / fair_share_bps))
-            bench = build_dumbbell(
-                "droptail",
-                config.capacity_bps,
-                rtt=config.rtt,
-                pkt_size=config.pkt_size,
-                seed=config.seed,
-                slice_seconds=config.slice_seconds,
-                buffer_rtts=buffer_rtts,
+            specs.append(
+                PointSpec(
+                    "repro.experiments.fig03_buffer_tradeoff:run_buffer_point",
+                    dict(
+                        fair_share_pkts=fair_share_pkts,
+                        buffer_rtts=buffer_rtts,
+                        capacity_bps=config.capacity_bps,
+                        rtt=config.rtt,
+                        pkt_size=config.pkt_size,
+                        slice_seconds=config.slice_seconds,
+                        seed=config.seed,
+                        duration=config.duration,
+                    ),
+                    label=f"droptail buf={buffer_rtts:g}rtt share={fair_share_pkts:g}pkt",
+                )
             )
-            flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
-            bench.sim.run(until=config.duration)
-            jfi = bench.collector.mean_short_term_jain([f.flow_id for f in flows])
-            result.jfi[(fair_share_pkts, buffer_rtts)] = jfi
-            stats = bench.bell.forward.stats
-            result.measured_delay[(fair_share_pkts, buffer_rtts)] = (
-                stats.mean_queue_delay(),
-                stats.queue_delay_percentile(95),
-            )
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    for point_result in runner.run(specs):
+        point = point_result.value
+        result.jfi[(point.fair_share_pkts, point.buffer_rtts)] = point.jfi
+        result.measured_delay[(point.fair_share_pkts, point.buffer_rtts)] = (
+            point.mean_delay,
+            point.p95_delay,
+        )
     return result

@@ -9,11 +9,12 @@ at a TAQ queue happen before the link, so utilization is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 from repro.experiments.fig02_fairness_droptail import Config as DtConfig
 from repro.experiments.runner import TableResult
-from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.sweeps import SweepPoint, sweep_specs
+from repro.parallel import ParallelRunner
 
 
 @dataclass
@@ -82,25 +83,31 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config(), include_baseline: bool = True) -> Result:
-    points = run_sweep(
-        config.queue_kind,
-        config.capacities_bps,
-        config.fair_shares_bps,
-        duration=config.duration,
-        rtt=config.rtt,
-        slice_seconds=config.slice_seconds,
-        seed=config.seed,
-    )
-    baseline: List[SweepPoint] = []
-    if include_baseline:
-        baseline = run_sweep(
-            "droptail",
-            config.capacities_bps,
-            config.fair_shares_bps,
-            duration=config.duration,
-            rtt=config.rtt,
-            slice_seconds=config.slice_seconds,
-            seed=config.seed,
+def run(
+    config: Config = Config(),
+    include_baseline: bool = True,
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> Result:
+    # Both sweeps go into one batch so a process pool sees every point
+    # at once (a TAQ point and a DropTail point can run side by side).
+    kinds = [config.queue_kind] + (["droptail"] if include_baseline else [])
+    specs = []
+    for kind in kinds:
+        specs.extend(
+            sweep_specs(
+                kind,
+                config.capacities_bps,
+                config.fair_shares_bps,
+                duration=config.duration,
+                rtt=config.rtt,
+                slice_seconds=config.slice_seconds,
+                seed=config.seed,
+            )
         )
-    return Result(points=points, baseline=baseline)
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    points = [result.value for result in runner.run(specs)]
+    per_kind = len(points) // len(kinds)
+    return Result(points=points[:per_kind], baseline=points[per_kind:])

@@ -61,11 +61,11 @@ class Result:
     points: Dict[str, List[Tuple[int, Optional[float]]]] = field(default_factory=dict)
 
     def completed(self, kind: str) -> List[Tuple[int, float]]:
-        return [(l, t) for l, t in self.points[kind] if t is not None]
+        return [(length, t) for length, t in self.points[kind] if t is not None]
 
     def linearity(self, kind: str) -> float:
         done = self.completed(kind)
-        return pearson([l for l, _ in done], [t for _, t in done])
+        return pearson([length for length, _ in done], [t for _, t in done])
 
     def completion_fraction(self, kind: str) -> float:
         pts = self.points[kind]

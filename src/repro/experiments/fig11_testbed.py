@@ -19,8 +19,9 @@ from typing import List, Sequence
 
 from repro.core import TAQQueue
 from repro.experiments.runner import TableResult, make_queue
-from repro.experiments.sweeps import SweepPoint, flows_for_fair_share
+from repro.experiments.sweeps import flows_for_fair_share
 from repro.metrics import SliceGoodputCollector
+from repro.parallel import ParallelRunner, PointSpec
 from repro.sim.simulator import Simulator
 from repro.testbed import TestbedDumbbell
 from repro.workloads import spawn_bulk_flows
@@ -84,34 +85,54 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config()) -> Result:
-    result = Result()
-    for kind in config.queue_kinds:
-        for capacity in config.capacities_bps:
-            for fair_share in config.fair_shares_bps:
-                n_flows = flows_for_fair_share(capacity, fair_share)
-                sim = Simulator(seed=config.seed)
-                queue = make_queue(kind, sim, capacity, config.rtt)
-                bed = TestbedDumbbell(sim, capacity, config.rtt, queue=queue)
-                if isinstance(queue, TAQQueue):
-                    queue.install_reverse_tap(bed.reverse)
-                collector = SliceGoodputCollector(config.slice_seconds)
-                bed.forward.add_delivery_tap(collector.observe)
-                flows = spawn_bulk_flows(bed, n_flows, start_window=5.0,
-                                         extra_rtt_max=0.1)
-                sim.run(until=config.duration)
-                result.points.append(
-                    TestbedPoint(
-                        queue_kind=kind,
-                        capacity_bps=capacity,
-                        n_flows=n_flows,
-                        fair_share_bps=capacity / n_flows,
-                        short_term_jain=collector.mean_short_term_jain(
-                            [f.flow_id for f in flows]
-                        ),
-                        utilization=bed.forward.stats.utilization(
-                            capacity, config.duration
-                        ),
-                    )
-                )
-    return result
+def run_testbed_point(
+    queue_kind: str,
+    capacity_bps: float,
+    fair_share_bps: float,
+    duration: float,
+    rtt: float,
+    slice_seconds: float,
+    seed: int,
+) -> TestbedPoint:
+    """Measure one testbed sweep point — picklable for the pool."""
+    n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
+    sim = Simulator(seed=seed)
+    queue = make_queue(queue_kind, sim, capacity_bps, rtt)
+    bed = TestbedDumbbell(sim, capacity_bps, rtt, queue=queue)
+    if isinstance(queue, TAQQueue):
+        queue.install_reverse_tap(bed.reverse)
+    collector = SliceGoodputCollector(slice_seconds)
+    bed.forward.add_delivery_tap(collector.observe)
+    flows = spawn_bulk_flows(bed, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    sim.run(until=duration)
+    return TestbedPoint(
+        queue_kind=queue_kind,
+        capacity_bps=capacity_bps,
+        n_flows=n_flows,
+        fair_share_bps=capacity_bps / n_flows,
+        short_term_jain=collector.mean_short_term_jain([f.flow_id for f in flows]),
+        utilization=bed.forward.stats.utilization(capacity_bps, duration),
+    )
+
+
+def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
+    specs = [
+        PointSpec(
+            "repro.experiments.fig11_testbed:run_testbed_point",
+            dict(
+                queue_kind=kind,
+                capacity_bps=capacity,
+                fair_share_bps=fair_share,
+                duration=config.duration,
+                rtt=config.rtt,
+                slice_seconds=config.slice_seconds,
+                seed=config.seed,
+            ),
+            label=f"testbed {kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
+        )
+        for kind in config.queue_kinds
+        for capacity in config.capacities_bps
+        for fair_share in config.fair_shares_bps
+    ]
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    return Result(points=[result.value for result in runner.run(specs)])

@@ -19,7 +19,7 @@ with the raw mode's recovery-queue protection visibly defeated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core import TAQQueue
 from repro.experiments.runner import TableResult

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.core import TAQQueue
 from repro.experiments.runner import TableResult, make_queue

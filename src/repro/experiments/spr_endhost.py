@@ -19,7 +19,7 @@ reference point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.experiments.runner import TableResult, build_dumbbell
 from repro.workloads import spawn_bulk_flows

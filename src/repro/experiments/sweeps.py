@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.experiments.runner import Bench, build_dumbbell
+from repro.parallel import ParallelRunner, PointSpec, ProgressPrinter, ResultCache
 from repro.workloads import spawn_bulk_flows
 
 
@@ -79,15 +80,40 @@ def run_sweep_point(
     )
 
 
-def run_sweep(
+def sweep_specs(
     kind: str,
     capacities_bps: Sequence[float],
     fair_shares_bps: Sequence[float],
     **kwargs,
+) -> List[PointSpec]:
+    """Picklable point specs for the cross-product sweep."""
+    return [
+        PointSpec(
+            "repro.experiments.sweeps:run_sweep_point",
+            dict(kind=kind, capacity_bps=capacity, fair_share_bps=fair_share, **kwargs),
+            label=f"{kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
+        )
+        for capacity in capacities_bps
+        for fair_share in fair_shares_bps
+    ]
+
+
+def run_sweep(
+    kind: str,
+    capacities_bps: Sequence[float],
+    fair_shares_bps: Sequence[float],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressPrinter] = None,
+    **kwargs,
 ) -> List[SweepPoint]:
-    """Cross-product sweep over capacities and fair shares."""
-    points = []
-    for capacity in capacities_bps:
-        for fair_share in fair_shares_bps:
-            points.append(run_sweep_point(kind, capacity, fair_share, **kwargs))
-    return points
+    """Cross-product sweep over capacities and fair shares.
+
+    ``jobs=1`` (the default) runs the points sequentially in-process;
+    ``jobs>1`` fans them across a process pool.  Both paths produce
+    bit-identical points — every point seeds its own simulator.
+    """
+    specs = sweep_specs(kind, capacities_bps, fair_shares_bps, **kwargs)
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    return [result.value for result in runner.run(specs)]

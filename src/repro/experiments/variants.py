@@ -12,9 +12,10 @@ the fix has to live in the network, not the sender.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.experiments.runner import TableResult, build_dumbbell
+from repro.parallel import ParallelRunner, PointSpec
 from repro.tcp.tfrc import TfrcFlow
 from repro.workloads import spawn_bulk_flows
 
@@ -122,10 +123,53 @@ def _run_point(transport: str, queue_kind: str, config: Config) -> VariantPoint:
     )
 
 
-def run(config: Config = Config()) -> Result:
-    result = Result()
-    for transport in config.transports:
-        for queue_kind in config.queues:
-            result.points.append(_run_point(transport, queue_kind, config))
-    result.taq_reference = _run_point("newreno", "taq", config).short_term_jain
-    return result
+def run_variant_point(
+    transport: str,
+    queue_kind: str,
+    capacity_bps: float,
+    n_flows: int,
+    duration: float,
+    rtt: float,
+    slice_seconds: float,
+    seed: int,
+) -> VariantPoint:
+    """Picklable scalar-argument wrapper around :func:`_run_point`."""
+    config = Config(
+        capacity_bps=capacity_bps,
+        n_flows=n_flows,
+        duration=duration,
+        rtt=rtt,
+        slice_seconds=slice_seconds,
+        seed=seed,
+    )
+    return _run_point(transport, queue_kind, config)
+
+
+def _point_spec(transport: str, queue_kind: str, config: Config) -> PointSpec:
+    return PointSpec(
+        "repro.experiments.variants:run_variant_point",
+        dict(
+            transport=transport,
+            queue_kind=queue_kind,
+            capacity_bps=config.capacity_bps,
+            n_flows=config.n_flows,
+            duration=config.duration,
+            rtt=config.rtt,
+            slice_seconds=config.slice_seconds,
+            seed=config.seed,
+        ),
+        label=f"{transport}/{queue_kind}",
+    )
+
+
+def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
+    specs = [
+        _point_spec(transport, queue_kind, config)
+        for transport in config.transports
+        for queue_kind in config.queues
+    ]
+    # The TAQ reference rides in the same batch as the matrix points.
+    specs.append(_point_spec("newreno", "taq", config))
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    points = [result.value for result in runner.run(specs)]
+    return Result(points=points[:-1], taq_reference=points[-1].short_term_jain)

@@ -15,7 +15,7 @@ signature is "stalled ~ 0 and maintained high".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 from repro.metrics.fairness import SliceGoodputCollector

@@ -16,7 +16,7 @@ reliability ordering).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.net.link import Link
 from repro.net.packet import HEADER_BYTES, Packet

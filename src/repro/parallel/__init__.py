@@ -1,0 +1,37 @@
+"""Parallel experiment engine: fan independent sweep points across cores.
+
+Every figure in the reproduction is a grid of independent
+single-bottleneck simulations (one :class:`~repro.sim.rng.RngRegistry`
+root seed per point), which makes the workload embarrassingly parallel
+and bit-reproducible regardless of execution order.  This package
+provides the three pieces the experiment modules build on:
+
+- :class:`PointSpec` / :class:`PointResult` — a picklable description
+  of one simulation point (a dotted-path callable plus keyword
+  arguments) and its measured outcome with per-point wall time;
+- :class:`ResultCache` — a content-addressed on-disk cache keyed by
+  the point spec plus a hash of the package source, so re-running
+  ``reproduce_all`` only recomputes what changed;
+- :class:`ParallelRunner` — the executor: sequential in-process at
+  ``jobs=1`` (the degenerate case, kept as the reference path), a
+  ``ProcessPoolExecutor`` fan-out above that, with optional
+  progress/ETA reporting via :class:`ProgressPrinter`.
+
+The two paths produce bit-identical results; ``tests/parallel``
+asserts this against the real sweep experiments.
+"""
+
+from repro.parallel.cache import ResultCache, code_version, default_cache_dir, spec_key
+from repro.parallel.runner import ParallelRunner, ProgressPrinter
+from repro.parallel.spec import PointResult, PointSpec
+
+__all__ = [
+    "ParallelRunner",
+    "PointResult",
+    "PointSpec",
+    "ProgressPrinter",
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "spec_key",
+]

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for experiment point results.
+
+A cache entry is keyed by a stable hash of (spec fn, spec kwargs,
+code version, format version) where the code version is itself a hash
+of every ``.py`` file in the :mod:`repro` package — editing any source
+file invalidates the whole cache, so a stale result can never masquerade
+as a fresh one.  Entries are pickles written atomically (tmp file +
+``os.replace``) so concurrent workers never observe torn writes.
+
+The cache degrades gracefully: if the cache directory cannot be
+created or written (read-only home, weird ``REPRO_CACHE_DIR``), it
+disables itself and every lookup is a miss.  Corrupt or unreadable
+entries are treated as misses and removed best-effort.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.parallel.spec import PointSpec
+
+#: Bump when the entry format changes; invalidates all old entries.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Stable hash of every ``.py`` file in the installed repro package."""
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(str(path.relative_to(package_dir)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def spec_key(spec: PointSpec, version: Optional[str] = None) -> str:
+    """Content hash addressing *spec* under code *version*.
+
+    Stable across processes and kwargs insertion order; the label is
+    deliberately excluded (it is presentation, not content).
+    """
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "code": version if version is not None else code_version(),
+            "fn": spec.fn,
+            "kwargs": spec.kwargs,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store mapping :func:`spec_key` to (value, wall_time).
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.
+    version:
+        Code-version string mixed into every key; defaults to
+        :func:`code_version`.  Tests override it to exercise
+        invalidation without editing source files.
+    """
+
+    def __init__(self, root: Optional[str] = None, version: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.enabled = False
+
+    def key(self, spec: PointSpec) -> str:
+        return spec_key(spec, self.version)
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, spec: PointSpec) -> Optional[Tuple[Any, float]]:
+        """Return ``(value, wall_time)`` for *spec*, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(self.key(spec))
+        try:
+            with open(path, "rb") as handle:
+                value, wall_time = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError, TypeError,
+                AttributeError, ImportError):
+            # Corrupt or unreadable entry: drop it and treat as a miss.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value, wall_time
+
+    def put(self, spec: PointSpec, value: Any, wall_time: float) -> None:
+        """Store *value* for *spec*; silently disables on write failure."""
+        if not self.enabled:
+            return
+        path = self._path(self.key(spec))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump((value, wall_time), handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        except (OSError, pickle.PicklingError, AttributeError, TypeError):
+            # OSError: unwritable dir; the rest: unpicklable values
+            # (pickle raises AttributeError/TypeError for local objects).
+            self.enabled = False
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"ResultCache({str(self.root)!r}, {state}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,148 @@
+"""The process-pool executor for experiment point specs.
+
+``jobs=1`` runs every spec in-process, in order — the sequential
+reference path.  ``jobs>1`` fans the uncached specs out over a
+``ProcessPoolExecutor``; because every point builds its own simulator
+from its own root seed (see :class:`repro.sim.rng.RngRegistry`), the
+results are bit-identical to the sequential path regardless of worker
+scheduling, and the runner returns them in spec order either way.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, TextIO
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.spec import PointResult, PointSpec
+
+#: Progress callbacks receive (done_count, total_count, latest_result).
+ProgressCallback = Callable[[int, int, PointResult], None]
+
+
+def _execute(spec: PointSpec):
+    """Worker entry point: run one spec, return (value, wall_time)."""
+    start = time.perf_counter()
+    value = spec.resolve()(**spec.kwargs)
+    return value, time.perf_counter() - start
+
+
+class ProgressPrinter:
+    """Per-point progress lines with a completion ETA.
+
+    Writes ``\\r``-refreshed lines on a TTY and one line per completed
+    point otherwise (CI logs), always ending with a newline summary.
+    """
+
+    def __init__(self, label: str = "points", stream: Optional[TextIO] = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._start: Optional[float] = None
+
+    def __call__(self, done: int, total: int, result: PointResult) -> None:
+        if self._start is None:
+            self._start = time.perf_counter()
+        elapsed = time.perf_counter() - self._start
+        eta = elapsed / done * (total - done) if done else 0.0
+        origin = "cache" if result.cached else f"{result.wall_time:.1f}s"
+        line = (
+            f"[{self.label} {done}/{total}] {result.spec.describe()} ({origin}) "
+            f"elapsed {elapsed:.0f}s eta {eta:.0f}s"
+        )
+        if self.stream.isatty():
+            end = "\n" if done == total else ""
+            self.stream.write(f"\r\x1b[2K{line}{end}")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+class ParallelRunner:
+    """Execute point specs across a process pool, cache-aware.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` means one per CPU.  ``1`` runs
+        sequentially in-process (no pool, no pickling).
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely
+        and are reported with ``cached=True``.
+    progress:
+        Optional callback invoked after every completed point with
+        ``(done, total, result)``; see :class:`ProgressPrinter`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+
+    def run(self, specs: Sequence[PointSpec]) -> List[PointResult]:
+        """Run *specs*, returning results in spec order."""
+        total = len(specs)
+        results: List[Optional[PointResult]] = [None] * total
+        done = 0
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                value, wall_time = hit
+                results[index] = PointResult(spec, value, wall_time, cached=True)
+                done += 1
+                self._report(done, total, results[index])
+            else:
+                pending.append(index)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                done += 1
+                results[index] = self._run_one(specs[index], done, total)
+        else:
+            done = self._run_pool(specs, pending, results, done, total)
+        return [result for result in results if result is not None]
+
+    def _run_one(self, spec: PointSpec, done: int, total: int) -> PointResult:
+        value, wall_time = _execute(spec)
+        result = PointResult(spec, value, wall_time)
+        if self.cache is not None:
+            self.cache.put(spec, value, wall_time)
+        self._report(done, total, result)
+        return result
+
+    def _run_pool(
+        self,
+        specs: Sequence[PointSpec],
+        pending: List[int],
+        results: List[Optional[PointResult]],
+        done: int,
+        total: int,
+    ) -> int:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute, specs[index]): index for index in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    value, wall_time = future.result()
+                    result = PointResult(specs[index], value, wall_time)
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(specs[index], value, wall_time)
+                    done += 1
+                    self._report(done, total, result)
+        return done
+
+    def _report(self, done: int, total: int, result: Optional[PointResult]) -> None:
+        if self.progress is not None and result is not None:
+            self.progress(done, total, result)

@@ -1,0 +1,69 @@
+"""Picklable descriptions of one simulation point and its outcome.
+
+A :class:`PointSpec` names its target function by dotted path
+(``"package.module:callable"``) rather than holding the callable
+itself, so a spec crosses process boundaries as three plain strings
+and a kwargs dict — no closure pickling, no dependence on how the
+parent process imported things.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+
+@dataclass
+class PointSpec:
+    """One unit of experiment work: call ``fn(**kwargs)``.
+
+    Parameters
+    ----------
+    fn:
+        Dotted path ``"package.module:callable"`` (the attribute part
+        may itself be dotted, e.g. ``"mod:Class.method"``).
+    kwargs:
+        Keyword arguments for the call.  Must be picklable for
+        ``jobs > 1`` and JSON-stable for caching — scalars, strings
+        and sequences thereof, which is all a sweep point needs
+        (queue kind, capacity, fair share, seed, duration, ...).
+    label:
+        Optional human-readable tag used by progress reporting.
+    """
+
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the target callable."""
+        module_name, _, attr_path = self.fn.partition(":")
+        if not attr_path:
+            raise ValueError(
+                f"spec fn {self.fn!r} must look like 'package.module:callable'"
+            )
+        target: Any = importlib.import_module(module_name)
+        for attr in attr_path.split("."):
+            target = getattr(target, attr)
+        return target
+
+    def describe(self) -> str:
+        """The label, or a compact fn(kwargs) rendering as fallback."""
+        if self.label:
+            return self.label
+        args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.kwargs.items()))
+        return f"{self.fn.partition(':')[2]}({args})"
+
+
+@dataclass
+class PointResult:
+    """The outcome of one executed (or cache-served) :class:`PointSpec`."""
+
+    spec: PointSpec
+    value: Any
+    #: Seconds the point took to compute.  For cache hits this is the
+    #: wall time recorded when the point was originally computed.
+    wall_time: float
+    #: True when the value came from the on-disk cache.
+    cached: bool = False

@@ -24,7 +24,7 @@ anything it already buffered.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.net.packet import ACK, DATA, FIN, HEADER_BYTES, SYN, SYNACK, Packet
 from repro.sim.events import Event

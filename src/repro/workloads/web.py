@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 import math
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Sequence
+from typing import Deque, Iterable, List, Sequence
 
 from repro.metrics.downloads import DownloadSample
 from repro.net.topology import Dumbbell

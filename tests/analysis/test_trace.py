@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.analysis import PacketTraceRecorder, TraceRecord, load_trace, save_trace
 from repro.net.packet import ACK, DATA, Packet
 

@@ -1,7 +1,5 @@
 """Unit tests for the Fig 7 state classifier."""
 
-import pytest
-
 from repro.core.classifier import EpochObservation, classify_epoch
 from repro.core.states import FlowState
 

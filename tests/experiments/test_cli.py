@@ -1,7 +1,5 @@
 """Tests for the taq-experiments command-line entry point."""
 
-import pytest
-
 from repro.experiments import cli
 
 

@@ -1,7 +1,5 @@
 """Tests for the terminal chart renderer."""
 
-import pytest
-
 from repro.metrics.asciichart import bar_chart, cdf_chart, line_chart
 
 

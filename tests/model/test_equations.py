@@ -1,7 +1,5 @@
 """Closed-form checks of the paper's §3.1 equations."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,8 +7,6 @@ SACK population and checks the model's expected run length is in the
 same range and that both lengthen with p.
 """
 
-import pytest
-
 from repro.experiments.runner import build_dumbbell
 from repro.model import expected_silence_run
 from repro.workloads import spawn_bulk_flows

@@ -1,10 +1,7 @@
 """Unit tests for the overlay substrate (lossy links, ARQ tunnel)."""
 
-import random
-
 import pytest
 
-from repro.net.link import Link
 from repro.net.packet import DATA, Packet
 from repro.overlay import ArqTunnel, LossyLink, OverlayDumbbell
 from repro.queues.droptail import DropTailQueue
@@ -143,7 +140,7 @@ def test_clean_mode_has_no_downstream_loss():
 def test_raw_mode_loses_downstream():
     sim = Simulator(seed=6)
     bell = OverlayDumbbell(sim, 1_000_000, 0.1, mode="raw", underlay_loss=0.2)
-    flows = spawn_bulk_flows(bell, 5, size_segments=30)
+    spawn_bulk_flows(bell, 5, size_segments=30)
     sim.run(until=60.0)
     assert bell.end_to_end_loss_rate() == pytest.approx(0.2, abs=0.07)
 

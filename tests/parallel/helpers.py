@@ -1,0 +1,20 @@
+"""Tiny importable point functions for the engine tests.
+
+Worker processes resolve spec functions by dotted path, so these must
+live in a real module (``tests`` is a package), not in a test body.
+"""
+
+import time
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x, delay=0.05):
+    time.sleep(delay)
+    return x * x
+
+
+def boom(message="boom"):
+    raise RuntimeError(message)

@@ -1,0 +1,60 @@
+"""The --jobs/--no-cache surface of ``taq-experiments``."""
+
+import functools
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments import fig02_fairness_droptail as fig2
+
+TINY = functools.partial(
+    fig2.Config,
+    capacities_bps=(200_000.0,),
+    fair_shares_bps=(40_000.0,),
+    duration=30.0,
+)
+
+
+@pytest.fixture
+def tiny_fig02(monkeypatch, tmp_path):
+    monkeypatch.setattr(fig2, "Config", TINY)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_jobs_flag_runs_and_prints_table(tiny_fig02, capsys):
+    assert cli.main(["fig02", "--jobs", "2", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+    assert "200" in out  # the capacity row made it into the table
+
+
+def test_jobs_one_matches_jobs_two(tiny_fig02, capsys, tmp_path):
+    assert cli.main(["fig02", "--jobs", "1", "--no-cache", "--csv",
+                     str(tmp_path / "j1.csv")]) == 0
+    assert cli.main(["fig02", "--jobs", "2", "--no-cache", "--csv",
+                     str(tmp_path / "j2.csv")]) == 0
+    assert (tmp_path / "j1.csv").read_text() == (tmp_path / "j2.csv").read_text()
+
+
+def test_cache_dir_respects_env(tiny_fig02, capsys, tmp_path):
+    assert cli.main(["fig02", "--jobs", "1"]) == 0
+    cache_dir = tmp_path / "cache"
+    entries = list(cache_dir.rglob("*.pkl"))
+    assert entries, "cache population under $REPRO_CACHE_DIR"
+    # Second run reuses the entries rather than adding new ones.
+    assert cli.main(["fig02", "--jobs", "1"]) == 0
+    assert sorted(cache_dir.rglob("*.pkl")) == sorted(entries)
+
+
+def test_single_scenario_note_for_jobs(monkeypatch, capsys):
+    # fig01 has no grid; --jobs should be ignored with a stderr note,
+    # without running the (slow) experiment itself.
+    import repro.experiments.fig01_download_times as fig1
+
+    class Namespace:
+        experiment = "fig01"
+        jobs = 4
+        no_cache = False
+
+    assert cli.engine_kwargs(fig1, Namespace()) == {}
+    assert "--jobs ignored" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""The tentpole guarantee: parallel experiment runs are bit-identical
+to the sequential path, for every converted experiment module.
+
+Each experiment seeds a fresh simulator per point via
+:class:`repro.sim.rng.RngRegistry`, so execution order and process
+boundaries cannot leak into the results — these tests pin that down
+with tiny (seconds-scale) grids.
+"""
+
+import pytest
+
+from repro.experiments import fig03_buffer_tradeoff as fig3
+from repro.experiments import fig08_fairness_taq as fig8
+from repro.experiments import fig11_testbed as fig11
+from repro.experiments import variants
+from repro.experiments.sweeps import run_sweep
+from repro.parallel import ResultCache
+
+TINY_SWEEP = dict(
+    capacities_bps=(200_000.0,),
+    fair_shares_bps=(20_000.0, 40_000.0),
+    duration=30.0,
+)
+
+
+def test_run_sweep_parallel_matches_sequential():
+    sequential = run_sweep("droptail", jobs=1, **TINY_SWEEP)
+    parallel = run_sweep("droptail", jobs=2, **TINY_SWEEP)
+    # Dataclass equality compares every float exactly: bit-identical.
+    assert parallel == sequential
+
+
+def test_run_sweep_cached_rerun_matches(tmp_path):
+    cache = ResultCache(root=str(tmp_path), version="pinned")
+    first = run_sweep("droptail", jobs=2, cache=cache, **TINY_SWEEP)
+    assert cache.misses == 2
+    again = run_sweep("droptail", jobs=1, cache=cache, **TINY_SWEEP)
+    assert cache.hits == 2
+    assert again == first
+
+
+def test_fig08_parallel_matches_sequential():
+    config = fig8.Config(**TINY_SWEEP)
+    sequential = fig8.run(config, jobs=1)
+    parallel = fig8.run(config, jobs=2)
+    assert parallel.points == sequential.points
+    assert parallel.baseline == sequential.baseline
+    # The baseline really is the droptail sweep, in sweep order.
+    assert [p.fair_share_bps for p in parallel.baseline] == [
+        p.fair_share_bps for p in parallel.points
+    ]
+
+
+def test_variants_parallel_matches_sequential():
+    config = variants.Config(
+        capacity_bps=200_000.0,
+        n_flows=20,
+        duration=30.0,
+        transports=("newreno", "tahoe"),
+        queues=("droptail",),
+    )
+    sequential = variants.run(config, jobs=1)
+    parallel = variants.run(config, jobs=2)
+    assert parallel.points == sequential.points
+    assert parallel.taq_reference == sequential.taq_reference
+    assert [(p.transport, p.queue_kind) for p in parallel.points] == [
+        ("newreno", "droptail"),
+        ("tahoe", "droptail"),
+    ]
+
+
+def test_fig03_parallel_matches_sequential():
+    config = fig3.Config(
+        capacity_bps=200_000.0,
+        fair_shares_pkts_per_rtt=(1.0,),
+        buffer_rtts=(1.0, 2.0),
+        duration=30.0,
+    )
+    sequential = fig3.run(config, jobs=1)
+    parallel = fig3.run(config, jobs=2)
+    assert parallel.jfi == sequential.jfi
+    assert parallel.measured_delay == sequential.measured_delay
+    assert parallel.max_delay == sequential.max_delay
+
+
+def test_fig11_parallel_matches_sequential():
+    config = fig11.Config(
+        capacities_bps=(200_000.0,),
+        fair_shares_bps=(40_000.0,),
+        duration=30.0,
+    )
+    sequential = fig11.run(config, jobs=1)
+    parallel = fig11.run(config, jobs=2)
+    assert parallel.points == sequential.points
+
+
+@pytest.mark.parametrize("experiment", ["fig02", "fig03", "fig08", "fig11", "variants"])
+def test_cli_grid_experiments_accept_engine_kwargs(experiment):
+    """Every grid experiment exposes the jobs/cache/progress surface."""
+    import importlib
+    import inspect
+
+    from repro.experiments.cli import EXPERIMENTS
+
+    module = importlib.import_module(EXPERIMENTS[experiment][0])
+    parameters = inspect.signature(module.run).parameters
+    assert {"jobs", "cache", "progress"} <= set(parameters)

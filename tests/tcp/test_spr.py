@@ -1,7 +1,5 @@
 """Unit tests for SPR-TCP (the future-work end-host mechanism)."""
 
-import pytest
-
 from repro.net.packet import DATA
 from repro.sim.simulator import Simulator
 from repro.tcp.spr import SprSender

@@ -46,7 +46,6 @@ def test_throughput_validates_rtt():
 def test_property_friendly_rate_exceeds_one_packet_per_rtt(p):
     # The paper's observation: sqrt(3/2)/(RTT sqrt(p)) >= sqrt(3/2)
     # packets per RTT for any p < 1 — the assumption the regime breaks.
-    rtt = 0.2
     simple_rate_pkts_per_rtt = math.sqrt(3.0 / 2.0) / math.sqrt(p)
     assert simple_rate_pkts_per_rtt >= math.sqrt(3.0 / 2.0)
 

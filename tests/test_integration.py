@@ -10,7 +10,6 @@ import pytest
 
 from repro.core import TAQQueue
 from repro.experiments.runner import build_dumbbell
-from repro.metrics import SliceGoodputCollector
 from repro.workloads import spawn_bulk_flows
 
 CAPACITY = 400_000.0

@@ -4,11 +4,9 @@ import pytest
 
 from repro.core import TAQQueue
 from repro.metrics import SliceGoodputCollector
-from repro.net.link import Link
 from repro.net.packet import DATA, Packet
 from repro.queues.droptail import DropTailQueue
 from repro.sim.simulator import Simulator
-from repro.tcp.flow import TcpFlow
 from repro.testbed import JitteredLink, TestbedDumbbell, clock_quantizer
 from repro.workloads import spawn_bulk_flows
 

@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.core import AdmissionController, TAQQueue
 from repro.net.topology import Dumbbell
 from repro.sim.simulator import Simulator
