@@ -13,7 +13,7 @@ plus a hash of the package source, so a re-run only recomputes what
 changed; ``--no-cache`` bypasses that.
 
 Run:  python examples/reproduce_all.py [output_dir] [--jobs N]
-      [--no-cache] [--only fig02,fig08]
+      [--no-cache] [--only fig02,fig08] [--telemetry-dir DIR]
 """
 
 import argparse
@@ -54,6 +54,14 @@ def parse_args():
     parser.add_argument("--only", default=None, metavar="IDS",
                         help="comma-separated experiment ids to run "
                              "(e.g. 'fig02,fig08'); default: everything")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="write repro.obs telemetry bundles (manifest, "
+                             "metrics, event trace) per sweep point under DIR; "
+                             "off by default")
+    parser.add_argument("--sample-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="gauge sampling period for --telemetry-dir "
+                             "(default: 1.0)")
     return parser.parse_args()
 
 
@@ -78,10 +86,14 @@ def main() -> None:
     written = []
     for name, module_name in selected:
         module = importlib.import_module(module_name)
+        parameters = inspect.signature(module.run).parameters
         extra = {}
-        if "jobs" in inspect.signature(module.run).parameters:
+        if "jobs" in parameters:
             extra = {"jobs": jobs, "cache": cache,
                      "progress": ProgressPrinter(name)}
+        if args.telemetry_dir is not None and "telemetry_dir" in parameters:
+            extra["telemetry_dir"] = os.path.join(args.telemetry_dir, name)
+            extra["sample_interval"] = args.sample_interval
         start = time.time()
         result = module.run(module.Config(), **extra)
         elapsed = time.time() - start

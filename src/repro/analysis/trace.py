@@ -25,9 +25,15 @@ class TraceRecord:
     seq: int
     size: int
     retransmit: bool
+    #: True when the observation is of the packet being dropped rather
+    #: than forwarded.  Defaults False so traces written before this
+    #: field existed still load.
+    dropped: bool = False
 
     @classmethod
-    def from_packet(cls, packet: Packet, now: float) -> "TraceRecord":
+    def from_packet(
+        cls, packet: Packet, now: float, dropped: bool = False
+    ) -> "TraceRecord":
         return cls(
             time=now,
             flow_id=packet.flow_id,
@@ -35,6 +41,7 @@ class TraceRecord:
             seq=packet.seq,
             size=packet.size,
             retransmit=packet.is_retransmit,
+            dropped=dropped,
         )
 
 
@@ -67,7 +74,16 @@ class PacketTraceRecorder:
         self.truncated = False
 
     def observe(self, packet: Packet, now: float) -> None:
-        """Tap callback: record *packet*."""
+        """Tap callback: record *packet* as forwarded."""
+        self._observe(packet, now, dropped=False)
+
+    def observe_drop(self, packet: Packet, now: float) -> None:
+        """Drop-observer callback (see
+        :meth:`repro.queues.base.QueueDiscipline.add_drop_observer`):
+        record *packet* flagged as dropped."""
+        self._observe(packet, now, dropped=True)
+
+    def _observe(self, packet: Packet, now: float, dropped: bool) -> None:
         if packet.kind not in self.kinds:
             return
         if self.predicate is not None and not self.predicate(packet, now):
@@ -75,7 +91,7 @@ class PacketTraceRecorder:
         if len(self.records) >= self.limit:
             self.truncated = True
             return
-        self.records.append(TraceRecord.from_packet(packet, now))
+        self.records.append(TraceRecord.from_packet(packet, now, dropped=dropped))
 
     def __len__(self) -> int:
         return len(self.records)

@@ -94,6 +94,10 @@ class TAQQueue(QueueDiscipline):
         self.classify_fair_share = classify_fair_share
         self.silence_priority = silence_priority
         self.admission_refusals = 0
+        #: Optional telemetry probe (``repro.obs``): an object with
+        #: ``emit(kind, now, flow_id=..., **fields)``.  None (the
+        #: default) keeps the enqueue path free of instrumentation.
+        self.probe = None
 
     @classmethod
     def for_link(
@@ -159,6 +163,10 @@ class TAQQueue(QueueDiscipline):
             and not self.admission.admits(packet.pool_id, now)
         ):
             self.admission_refusals += 1
+            if self.probe is not None:
+                self.probe.emit(
+                    "taq_refused", now, flow_id=packet.flow_id, pool=packet.pool_id
+                )
             self._record_drop(packet, now)
             return False
 
@@ -169,6 +177,13 @@ class TAQQueue(QueueDiscipline):
             self.admission.note_arrival(now)
 
         klass = self._classify(packet, record, is_retransmission, now)
+        if self.probe is not None and klass == PacketClass.OVER_PENALIZED:
+            self.probe.emit(
+                "taq_penalty_box",
+                now,
+                flow_id=packet.flow_id,
+                recent_drops=record.recent_drops(),
+            )
         accepted, evicted = self.scheduler.enqueue(
             packet, klass, priority=silence, connection_attempt=packet.kind == SYN
         )
@@ -176,6 +191,14 @@ class TAQQueue(QueueDiscipline):
             # The victim was counted as enqueued when it was accepted;
             # move that unit of "offered load" to the drop column.
             self.enqueued = max(0, self.enqueued - 1)
+            if self.probe is not None:
+                self.probe.emit(
+                    "taq_evict",
+                    now,
+                    flow_id=evicted.flow_id,
+                    by_flow=packet.flow_id,
+                    seq=evicted.seq,
+                )
             self._account_drop(evicted, now)
         if not accepted:
             self._account_drop(packet, now)

@@ -45,20 +45,33 @@ def engine_kwargs(module, args) -> dict:
     user asked for parallelism anyway).
     """
     parameters = inspect.signature(module.run).parameters
+    kwargs = {}
     if "jobs" not in parameters:
         if args.jobs is not None and args.jobs != 1:
             print(
                 f"(note: {args.experiment} runs a single scenario; --jobs ignored)",
                 file=sys.stderr,
             )
-        return {}
-    from repro.parallel import ProgressPrinter, ResultCache
+    else:
+        from repro.parallel import ProgressPrinter, ResultCache
 
-    return {
-        "jobs": args.jobs if args.jobs is not None else os.cpu_count() or 1,
-        "cache": None if args.no_cache else ResultCache(),
-        "progress": ProgressPrinter(args.experiment),
-    }
+        kwargs = {
+            "jobs": args.jobs if args.jobs is not None else os.cpu_count() or 1,
+            "cache": None if args.no_cache else ResultCache(),
+            "progress": ProgressPrinter(args.experiment),
+        }
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if "telemetry_dir" in parameters:
+        if telemetry_dir is not None:
+            kwargs["telemetry_dir"] = telemetry_dir
+            kwargs["sample_interval"] = getattr(args, "sample_interval", 1.0)
+    elif telemetry_dir is not None:
+        print(
+            f"(note: {args.experiment} has no telemetry support; "
+            "--telemetry-dir ignored)",
+            file=sys.stderr,
+        )
+    return kwargs
 
 
 def _run_tipping_point() -> int:
@@ -105,6 +118,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--csv", metavar="PATH", default=None,
         help="also write the result table as CSV to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help="write a repro.obs telemetry bundle (manifest, metrics, "
+             "event trace) per sweep point under DIR; off by default "
+             "(zero overhead when disabled)",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=1.0, metavar="SECONDS",
+        help="gauge sampling period on the sim clock for --telemetry-dir "
+             "(default: 1.0; 0 disables time series)",
     )
     parser.add_argument(
         "--chart", action="store_true",

@@ -90,7 +90,15 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
+def run(
+    config: Config = Config(),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    telemetry_dir=None,
+    sample_interval: float = 1.0,
+) -> Result:
     points = run_sweep(
         config.queue_kind,
         config.capacities_bps,
@@ -102,5 +110,7 @@ def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) 
         rtt=config.rtt,
         slice_seconds=config.slice_seconds,
         seed=config.seed,
+        telemetry_dir=telemetry_dir,
+        sample_interval=sample_interval,
     )
     return Result(points=points)

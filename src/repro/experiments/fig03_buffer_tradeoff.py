@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.experiments.runner import (
+    TableResult,
+    build_dumbbell,
+    instrument_point,
+    telemetry_payload,
+)
 from repro.parallel import ParallelRunner, PointSpec
 from repro.workloads import spawn_bulk_flows
 
@@ -81,6 +86,7 @@ class BufferPoint:
     jfi: float
     mean_delay: float
     p95_delay: float
+    telemetry: Optional[dict] = None
 
 
 def run_buffer_point(
@@ -92,6 +98,8 @@ def run_buffer_point(
     slice_seconds: float,
     seed: int,
     duration: float,
+    telemetry_dir: Optional[str] = None,
+    sample_interval: float = 1.0,
 ) -> BufferPoint:
     """Measure one (fair share, buffer) cell of the tradeoff grid."""
     fair_share_bps = fair_share_pkts * pkt_size * 8 / rtt
@@ -106,7 +114,28 @@ def run_buffer_point(
         buffer_rtts=buffer_rtts,
     )
     flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    telemetry = None
+    run_id = f"droptail-buf{buffer_rtts:g}rtt-share{fair_share_pkts:g}pkt-seed{seed}"
+    if telemetry_dir is not None:
+        telemetry = instrument_point(
+            bench.sim, bench.queue, bench.bell.forward, flows,
+            telemetry_dir, run_id, sample_interval=sample_interval,
+        )
     bench.sim.run(until=duration)
+    payload = None
+    if telemetry is not None:
+        payload = telemetry_payload(
+            telemetry,
+            bench.sim,
+            run_id=run_id,
+            seed=seed,
+            topology=dict(
+                capacity_bps=capacity_bps, rtt=rtt, pkt_size=pkt_size,
+                n_flows=n_flows, buffer_rtts=buffer_rtts,
+            ),
+            qdisc=dict(kind="droptail"),
+            duration=duration,
+        )
     stats = bench.bell.forward.stats
     return BufferPoint(
         fair_share_pkts=fair_share_pkts,
@@ -114,11 +143,25 @@ def run_buffer_point(
         jfi=bench.collector.mean_short_term_jain([f.flow_id for f in flows]),
         mean_delay=stats.mean_queue_delay(),
         p95_delay=stats.queue_delay_percentile(95),
+        telemetry=payload,
     )
 
 
-def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
+def run(
+    config: Config = Config(),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    telemetry_dir=None,
+    sample_interval: float = 1.0,
+) -> Result:
     result = Result()
+    # Telemetry kwargs enter the specs only when enabled, keeping the
+    # uninstrumented path's cache keys unchanged.
+    extra = {}
+    if telemetry_dir is not None:
+        extra = dict(telemetry_dir=telemetry_dir, sample_interval=sample_interval)
     specs = []
     for buffer_rtts in config.buffer_rtts:
         # Max queueing delay this buffer implies at line rate.
@@ -136,6 +179,7 @@ def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) 
                         slice_seconds=config.slice_seconds,
                         seed=config.seed,
                         duration=config.duration,
+                        **extra,
                     ),
                     label=f"droptail buf={buffer_rtts:g}rtt share={fair_share_pkts:g}pkt",
                 )

@@ -90,6 +90,8 @@ def run(
     jobs: int = 1,
     cache=None,
     progress=None,
+    telemetry_dir=None,
+    sample_interval: float = 1.0,
 ) -> Result:
     # Both sweeps go into one batch so a process pool sees every point
     # at once (a TAQ point and a DropTail point can run side by side).
@@ -101,6 +103,8 @@ def run(
                 kind,
                 config.capacities_bps,
                 config.fair_shares_bps,
+                telemetry_dir=telemetry_dir,
+                sample_interval=sample_interval,
                 duration=config.duration,
                 rtt=config.rtt,
                 slice_seconds=config.slice_seconds,

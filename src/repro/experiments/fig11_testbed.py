@@ -15,10 +15,15 @@ drives the *unmodified* TAQ queue through jittered links and a LAN hop
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core import TAQQueue
-from repro.experiments.runner import TableResult, make_queue
+from repro.experiments.runner import (
+    TableResult,
+    instrument_point,
+    make_queue,
+    telemetry_payload,
+)
 from repro.experiments.sweeps import flows_for_fair_share
 from repro.metrics import SliceGoodputCollector
 from repro.parallel import ParallelRunner, PointSpec
@@ -53,6 +58,7 @@ class TestbedPoint:
     fair_share_bps: float
     short_term_jain: float
     utilization: float
+    telemetry: Optional[dict] = None
 
 
 @dataclass
@@ -93,6 +99,8 @@ def run_testbed_point(
     rtt: float,
     slice_seconds: float,
     seed: int,
+    telemetry_dir: Optional[str] = None,
+    sample_interval: float = 1.0,
 ) -> TestbedPoint:
     """Measure one testbed sweep point — picklable for the pool."""
     n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
@@ -104,7 +112,30 @@ def run_testbed_point(
     collector = SliceGoodputCollector(slice_seconds)
     bed.forward.add_delivery_tap(collector.observe)
     flows = spawn_bulk_flows(bed, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    telemetry = None
+    run_id = (
+        f"testbed-{queue_kind}-{int(capacity_bps)}bps-"
+        f"share{int(fair_share_bps)}-seed{seed}"
+    )
+    if telemetry_dir is not None:
+        telemetry = instrument_point(
+            sim, queue, bed.forward, flows,
+            telemetry_dir, run_id, sample_interval=sample_interval,
+        )
     sim.run(until=duration)
+    payload = None
+    if telemetry is not None:
+        payload = telemetry_payload(
+            telemetry,
+            sim,
+            run_id=run_id,
+            seed=seed,
+            topology=dict(
+                capacity_bps=capacity_bps, rtt=rtt, n_flows=n_flows, testbed=True
+            ),
+            qdisc=dict(kind=queue_kind),
+            duration=duration,
+        )
     return TestbedPoint(
         queue_kind=queue_kind,
         capacity_bps=capacity_bps,
@@ -112,10 +143,22 @@ def run_testbed_point(
         fair_share_bps=capacity_bps / n_flows,
         short_term_jain=collector.mean_short_term_jain([f.flow_id for f in flows]),
         utilization=bed.forward.stats.utilization(capacity_bps, duration),
+        telemetry=payload,
     )
 
 
-def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) -> Result:
+def run(
+    config: Config = Config(),
+    *,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+    telemetry_dir=None,
+    sample_interval: float = 1.0,
+) -> Result:
+    extra = {}
+    if telemetry_dir is not None:
+        extra = dict(telemetry_dir=telemetry_dir, sample_interval=sample_interval)
     specs = [
         PointSpec(
             "repro.experiments.fig11_testbed:run_testbed_point",
@@ -127,6 +170,7 @@ def run(config: Config = Config(), *, jobs: int = 1, cache=None, progress=None) 
                 rtt=config.rtt,
                 slice_seconds=config.slice_seconds,
                 seed=config.seed,
+                **extra,
             ),
             label=f"testbed {kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
         )

@@ -4,14 +4,17 @@
   short name ("droptail", "red", "sfq", "taq", "taq+ac");
 - :func:`build_dumbbell` — simulator + dumbbell + queue + goodput
   collector in one call, with TAQ's reverse tap wired automatically;
+- :func:`instrument_point` / :func:`telemetry_payload` — opt-in
+  :mod:`repro.obs` wiring shared by every sweep-point function;
 - :class:`TableResult` — a printable rows-and-headers result every
   experiment returns (the "same rows/series the paper reports").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import AdmissionController, TAQQueue
 from repro.metrics import SliceGoodputCollector
@@ -89,6 +92,67 @@ def build_dumbbell(
     collector = SliceGoodputCollector(slice_seconds)
     bell.forward.add_delivery_tap(collector.observe)
     return Bench(sim=sim, bell=bell, queue=queue, collector=collector)
+
+
+def instrument_point(
+    sim: Simulator,
+    queue: QueueDiscipline,
+    link,
+    flows,
+    telemetry_dir: str,
+    run_id: str,
+    sample_interval: float = 1.0,
+):
+    """Wire a :class:`repro.obs.Telemetry` bundle onto one sweep point.
+
+    Attaches the gauge sampler, the queue drop tap (plus TAQ internals
+    when *queue* is a TAQ), the bottleneck link gauges, and per-flow
+    sender probes.  The bundle lands in ``telemetry_dir/run_id/`` at
+    finalize time (see :func:`telemetry_payload`).
+    """
+    from repro.obs import (
+        Telemetry,
+        instrument_flows,
+        instrument_link,
+        instrument_queue,
+    )
+
+    telemetry = Telemetry(
+        os.path.join(telemetry_dir, run_id), sample_interval=sample_interval
+    )
+    telemetry.attach(sim)
+    instrument_queue(telemetry, queue)
+    instrument_link(telemetry, link, name="bottleneck")
+    instrument_flows(telemetry, flows)
+    return telemetry
+
+
+def telemetry_payload(
+    telemetry,
+    sim: Optional[Simulator] = None,
+    *,
+    run_id: str,
+    seed: int,
+    topology: Optional[Dict[str, Any]] = None,
+    qdisc: Optional[Dict[str, Any]] = None,
+    duration: float = 0.0,
+) -> Dict[str, Any]:
+    """Finalize *telemetry* and return the picklable per-point payload
+    (bundle path, manifest, deterministic summary) that travels back
+    through :mod:`repro.parallel` — including on cache hits."""
+    manifest = telemetry.finalize(
+        sim,
+        run_id=run_id,
+        seed=seed,
+        topology=topology,
+        qdisc=qdisc,
+        duration=duration,
+    )
+    return {
+        "bundle_dir": telemetry.out_dir,
+        "manifest": asdict(manifest),
+        "summary": telemetry.summary(),
+    }
 
 
 @dataclass

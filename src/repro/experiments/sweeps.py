@@ -9,9 +9,14 @@ and utilization for context).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments.runner import Bench, build_dumbbell
+from repro.experiments.runner import (
+    Bench,
+    build_dumbbell,
+    instrument_point,
+    telemetry_payload,
+)
 from repro.parallel import ParallelRunner, PointSpec, ProgressPrinter, ResultCache
 from repro.workloads import spawn_bulk_flows
 
@@ -31,6 +36,9 @@ class SweepPoint:
     timeouts: int
     repetitive_timeouts: int
     shut_out_fraction: float
+    #: ``repro.obs`` payload (bundle path, manifest, metric summary)
+    #: when the point ran with telemetry enabled; None otherwise.
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 def flows_for_fair_share(capacity_bps: float, fair_share_bps: float) -> int:
@@ -47,9 +55,17 @@ def run_sweep_point(
     slice_seconds: float = 20.0,
     seed: int = 1,
     bench: Optional[Bench] = None,
+    telemetry_dir: Optional[str] = None,
+    sample_interval: float = 1.0,
     **queue_kwargs,
 ) -> SweepPoint:
-    """Measure one (capacity, fair-share) point under queue *kind*."""
+    """Measure one (capacity, fair-share) point under queue *kind*.
+
+    With ``telemetry_dir`` set, the point runs instrumented (see
+    :mod:`repro.obs`) and writes its bundle to
+    ``telemetry_dir/<kind>-<capacity>-<share>-seed<seed>/``; the
+    returned point carries the manifest and deterministic summary.
+    """
     n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
     if bench is None:
         bench = build_dumbbell(
@@ -61,7 +77,36 @@ def run_sweep_point(
             **queue_kwargs,
         )
     flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    telemetry = None
+    run_id = f"{kind}-{int(capacity_bps)}bps-share{int(fair_share_bps)}-seed{seed}"
+    if telemetry_dir is not None:
+        telemetry = instrument_point(
+            bench.sim,
+            bench.queue,
+            bench.bell.forward,
+            flows,
+            telemetry_dir,
+            run_id,
+            sample_interval=sample_interval,
+        )
     bench.sim.run(until=duration)
+    payload = None
+    if telemetry is not None:
+        payload = telemetry_payload(
+            telemetry,
+            bench.sim,
+            run_id=run_id,
+            seed=seed,
+            topology=dict(
+                capacity_bps=capacity_bps,
+                fair_share_bps=fair_share_bps,
+                n_flows=n_flows,
+                rtt=rtt,
+                slice_seconds=slice_seconds,
+            ),
+            qdisc=dict(kind=kind, **queue_kwargs),
+            duration=duration,
+        )
     flow_ids = [f.flow_id for f in flows]
     indices = bench.collector.slice_indices()
     steady = indices[len(indices) // 2] if indices else 0
@@ -77,6 +122,7 @@ def run_sweep_point(
         timeouts=sum(f.sender.stats.timeouts for f in flows),
         repetitive_timeouts=sum(f.sender.stats.repetitive_timeouts for f in flows),
         shut_out_fraction=bench.collector.shut_out_fraction(steady, flow_ids),
+        telemetry=payload,
     )
 
 
@@ -84,13 +130,29 @@ def sweep_specs(
     kind: str,
     capacities_bps: Sequence[float],
     fair_shares_bps: Sequence[float],
+    telemetry_dir: Optional[str] = None,
+    sample_interval: float = 1.0,
     **kwargs,
 ) -> List[PointSpec]:
-    """Picklable point specs for the cross-product sweep."""
+    """Picklable point specs for the cross-product sweep.
+
+    The telemetry kwargs enter a spec only when ``telemetry_dir`` is
+    set, so an uninstrumented sweep hashes to exactly the cache keys it
+    always had (prior cached results stay valid).
+    """
+    extra = {}
+    if telemetry_dir is not None:
+        extra = dict(telemetry_dir=telemetry_dir, sample_interval=sample_interval)
     return [
         PointSpec(
             "repro.experiments.sweeps:run_sweep_point",
-            dict(kind=kind, capacity_bps=capacity, fair_share_bps=fair_share, **kwargs),
+            dict(
+                kind=kind,
+                capacity_bps=capacity,
+                fair_share_bps=fair_share,
+                **extra,
+                **kwargs,
+            ),
             label=f"{kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
         )
         for capacity in capacities_bps

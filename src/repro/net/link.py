@@ -67,6 +67,15 @@ class LinkStats:
             return 0.0
         return self.queue_delay_total / self.queue_delay_samples
 
+    def delay_samples(self) -> List[float]:
+        """The queueing-delay reservoir sample, in observation order.
+
+        A deterministic subsample of every packet's time-in-queue (see
+        :meth:`note_queue_delay`); consumers such as
+        ``repro.obs.instrument_link`` fold it into their own histograms.
+        """
+        return list(self._delay_reservoir)
+
     def queue_delay_percentile(self, q: float) -> float:
         """Approximate percentile of the queueing delay (reservoir)."""
         if not self._delay_reservoir:

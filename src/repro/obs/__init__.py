@@ -1,0 +1,76 @@
+"""repro.obs — the unified telemetry layer.
+
+One subsystem for *seeing inside a run*: a metrics registry of named
+counters/gauges/histograms, a sim-clock sampler turning gauges into
+time series, a schema-versioned structured event trace (drops,
+retransmits, RTO firings, TAQ verdicts, flow state transitions), and a
+run manifest recording provenance (seed, parameters, source hash).
+
+Everything is opt-in and zero-overhead when off: components carry
+``probe`` attributes that default to ``None`` and observer hooks that
+default to empty, so an uninstrumented run executes byte-for-byte the
+same simulation.  See ``docs/observability.md``.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    load_metrics_jsonl,
+)
+from repro.obs.report import render_run_report, render_telemetry_report
+from repro.obs.sampler import Sampler
+from repro.obs.telemetry import (
+    Telemetry,
+    instrument_flow,
+    instrument_flows,
+    instrument_link,
+    instrument_queue,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    EventTrace,
+    TraceEvent,
+    load_events,
+    save_events,
+    summarize_events,
+)
+
+__all__ = [
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "RunManifest",
+    "Sampler",
+    "Telemetry",
+    "TimeSeries",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "build_manifest",
+    "diff_manifests",
+    "instrument_flow",
+    "instrument_flows",
+    "instrument_link",
+    "instrument_queue",
+    "load_events",
+    "load_manifest",
+    "load_metrics_jsonl",
+    "render_run_report",
+    "render_telemetry_report",
+    "save_events",
+    "summarize_events",
+]

@@ -1,0 +1,126 @@
+"""The run manifest: what produced this result, exactly.
+
+A manifest is a small JSON document emitted next to every telemetry
+bundle (and usable standalone) answering the questions a reader of a
+months-old ``results/`` directory asks: which seed, which topology and
+queue parameters, which *source code* (content hash of every ``.py``
+file in the package — the same hash that keys the result cache), how
+long it ran and how much work that was.
+
+Two manifests with equal ``source_hash``, ``seed`` and parameters
+describe bit-identical runs; diffing manifests is therefore the first
+step of diffing two runs (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+#: Bump when manifest fields change incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one simulation run."""
+
+    run_id: str
+    seed: int
+    #: Topology parameters (capacity_bps, rtt, pkt_size, ...).
+    topology: Dict[str, Any] = field(default_factory=dict)
+    #: Queue discipline: at least {"kind": ...}; knobs alongside.
+    qdisc: Dict[str, Any] = field(default_factory=dict)
+    #: Sim-clock duration of the run, seconds.
+    duration: float = 0.0
+    #: Wall-clock seconds the run took (not deterministic!).
+    wall_time_s: float = 0.0
+    #: Simulator events processed.
+    event_count: int = 0
+    #: Structured trace events recorded.
+    trace_events: int = 0
+    #: Gauge sampling interval, seconds (0 = sampling disabled).
+    sample_interval: float = 0.0
+    #: Content hash of the repro package source (see
+    #: :func:`repro.parallel.cache.code_version`).
+    source_hash: str = ""
+    #: Unix timestamp of manifest creation (not deterministic).
+    created_unix: float = 0.0
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        payload = {"schema": "repro.obs.manifest"}
+        payload.update(asdict(self))
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def build_manifest(
+    run_id: str,
+    seed: int,
+    *,
+    topology: Optional[Dict[str, Any]] = None,
+    qdisc: Optional[Dict[str, Any]] = None,
+    duration: float = 0.0,
+    wall_time_s: float = 0.0,
+    event_count: int = 0,
+    trace_events: int = 0,
+    sample_interval: float = 0.0,
+) -> RunManifest:
+    """Assemble a manifest, filling in source hash and timestamp."""
+    from repro.parallel.cache import code_version
+
+    return RunManifest(
+        run_id=run_id,
+        seed=seed,
+        topology=dict(topology or {}),
+        qdisc=dict(qdisc or {}),
+        duration=duration,
+        wall_time_s=wall_time_s,
+        event_count=event_count,
+        trace_events=trace_events,
+        sample_interval=sample_interval,
+        source_hash=code_version(),
+        created_unix=_time.time(),
+    )
+
+
+def load_manifest(path: str) -> RunManifest:
+    """Read a manifest written by :meth:`RunManifest.write`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.pop("schema", "repro.obs.manifest") != "repro.obs.manifest":
+        raise ValueError(f"not a run manifest: {path}")
+    version = payload.get("schema_version", MANIFEST_SCHEMA_VERSION)
+    if version > MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"manifest schema v{version} is newer than supported "
+            f"v{MANIFEST_SCHEMA_VERSION}"
+        )
+    known = {f for f in RunManifest.__dataclass_fields__}
+    return RunManifest(**{k: v for k, v in payload.items() if k in known})
+
+
+def diff_manifests(a: RunManifest, b: RunManifest) -> Dict[str, Any]:
+    """Field-by-field differences between two manifests.
+
+    Non-deterministic fields (wall time, creation timestamp) are
+    ignored; everything else that differs is returned as
+    ``{field: (a_value, b_value)}``.  An empty dict means the two runs
+    were produced by the same code, seed and parameters.
+    """
+    skip = {"wall_time_s", "created_unix", "run_id"}
+    out: Dict[str, Any] = {}
+    for name in RunManifest.__dataclass_fields__:
+        if name in skip:
+            continue
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            out[name] = (va, vb)
+    return out

@@ -1,0 +1,144 @@
+"""Human-readable rendering of a telemetry bundle.
+
+``render_run_report`` answers the first three questions anyone asks of
+a finished run — who lost the most packets, who timed out the most,
+and what did the bottleneck queue look like over time — as plain text
+(tables + :mod:`repro.metrics.asciichart` pictures), from either a
+live :class:`~repro.obs.telemetry.Telemetry` or a bundle directory::
+
+    python -m repro.obs.report out/fig02-200k
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.asciichart import bar_chart, line_chart
+from repro.obs.manifest import load_manifest
+from repro.obs.metrics import load_metrics_jsonl
+from repro.obs.telemetry import EVENTS_NAME, MANIFEST_NAME, METRICS_NAME, Telemetry
+from repro.obs.trace import load_events, summarize_events
+
+
+def _top(counts: Dict[int, int], limit: int) -> Dict[str, float]:
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:limit]
+    return {f"flow {flow}": float(count) for flow, count in ordered}
+
+
+def _series_percentiles(samples: List[Tuple[float, float]]) -> Dict[str, float]:
+    values = sorted(value for _, value in samples)
+    if not values:
+        return {}
+
+    def pct(q: float) -> float:
+        index = min(len(values) - 1, max(0, int(round(q / 100.0 * (len(values) - 1)))))
+        return values[index]
+
+    return {
+        "min": values[0],
+        "p50": pct(50),
+        "p95": pct(95),
+        "p99": pct(99),
+        "max": values[-1],
+    }
+
+
+def render_report(
+    summary: Dict[str, Any],
+    series: Optional[Dict[str, List[Tuple[float, float]]]] = None,
+    manifest_line: str = "",
+    top_n: int = 10,
+) -> str:
+    """Render the report from a telemetry *summary* (see
+    :meth:`Telemetry.summary`) plus optional raw gauge series."""
+    lines: List[str] = []
+    if manifest_line:
+        lines.append(manifest_line)
+    trace = summary.get("trace", {})
+    events = trace.get("events", {})
+    if events:
+        lines.append("events: " + ", ".join(f"{k}={v}" for k, v in sorted(events.items())))
+    if trace.get("truncated"):
+        lines.append("(!) event trace truncated at its record cap")
+
+    droppers = _top(trace.get("drops_by_flow", {}), top_n)
+    if droppers:
+        lines.append("")
+        lines.append(f"top droppers (packets dropped, top {top_n}):")
+        lines.append(bar_chart(droppers))
+
+    rto = _top(trace.get("rto_by_flow", {}), top_n)
+    if rto:
+        lines.append("")
+        lines.append(f"RTO firings per flow (top {top_n}):")
+        lines.append(bar_chart(rto))
+
+    for name, samples in sorted((series or {}).items()):
+        if "depth" not in name and "queue" not in name:
+            continue
+        stats = _series_percentiles(samples)
+        if not stats:
+            continue
+        lines.append("")
+        lines.append(
+            f"{name}: " + ", ".join(f"{k}={v:g}" for k, v in stats.items())
+        )
+        lines.append(line_chart({name: samples}, x_label="sim time (s)", y_label="pkts"))
+    return "\n".join(lines)
+
+
+def render_telemetry_report(telemetry: Telemetry, top_n: int = 10) -> str:
+    """Report for a live (not yet persisted) telemetry object."""
+    manifest_line = ""
+    if telemetry.manifest is not None:
+        m = telemetry.manifest
+        manifest_line = (
+            f"run {m.run_id}: seed={m.seed} duration={m.duration:g}s "
+            f"events={m.event_count} source={m.source_hash[:12]}"
+        )
+    series = {
+        name: list(ts.samples) for name, ts in telemetry.registry.series.items()
+    }
+    return render_report(
+        telemetry.summary(), series=series, manifest_line=manifest_line, top_n=top_n
+    )
+
+
+def render_run_report(bundle_dir: str, top_n: int = 10) -> str:
+    """Report for a bundle directory written by :meth:`Telemetry.finalize`."""
+    manifest_line = ""
+    manifest_path = os.path.join(bundle_dir, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        m = load_manifest(manifest_path)
+        manifest_line = (
+            f"run {m.run_id}: seed={m.seed} duration={m.duration:g}s "
+            f"events={m.event_count} source={m.source_hash[:12]}"
+        )
+    events_path = os.path.join(bundle_dir, EVENTS_NAME)
+    summary: Dict[str, Any] = {"trace": {}}
+    if os.path.exists(events_path):
+        with open(events_path, "r", encoding="utf-8") as handle:
+            summary["trace"] = summarize_events(load_events(handle))
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    metrics_path = os.path.join(bundle_dir, METRICS_NAME)
+    if os.path.exists(metrics_path):
+        series = load_metrics_jsonl(metrics_path)["series"]
+    return render_report(summary, series=series, manifest_line=manifest_line, top_n=top_n)
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Render a text report for a telemetry bundle directory."
+    )
+    parser.add_argument("bundle_dir", help="directory holding manifest/metrics/events")
+    parser.add_argument("--top", type=int, default=10, help="rows in the top-N charts")
+    args = parser.parse_args(argv)
+    print(render_run_report(args.bundle_dir, top_n=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -33,21 +33,36 @@ def _execute(spec: PointSpec):
 class ProgressPrinter:
     """Per-point progress lines with a completion ETA.
 
+    Every line shows the point's wall time and whether it was computed
+    or served from the result cache (cache hits report the wall time
+    the original computation cost, i.e. the time the hit saved).
     Writes ``\\r``-refreshed lines on a TTY and one line per completed
-    point otherwise (CI logs), always ending with a newline summary.
+    point otherwise (CI logs); the final line is followed by a batch
+    summary (computed/cached split and total time saved).
     """
 
     def __init__(self, label: str = "points", stream: Optional[TextIO] = None) -> None:
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self._start: Optional[float] = None
+        self.computed = 0
+        self.cache_hits = 0
+        self.compute_time = 0.0
+        self.saved_time = 0.0
 
     def __call__(self, done: int, total: int, result: PointResult) -> None:
         if self._start is None:
             self._start = time.perf_counter()
         elapsed = time.perf_counter() - self._start
         eta = elapsed / done * (total - done) if done else 0.0
-        origin = "cache" if result.cached else f"{result.wall_time:.1f}s"
+        if result.cached:
+            self.cache_hits += 1
+            self.saved_time += result.wall_time
+            origin = f"cache hit, saved {result.wall_time:.1f}s"
+        else:
+            self.computed += 1
+            self.compute_time += result.wall_time
+            origin = f"computed in {result.wall_time:.1f}s"
         line = (
             f"[{self.label} {done}/{total}] {result.spec.describe()} ({origin}) "
             f"elapsed {elapsed:.0f}s eta {eta:.0f}s"
@@ -57,7 +72,17 @@ class ProgressPrinter:
             self.stream.write(f"\r\x1b[2K{line}{end}")
         else:
             self.stream.write(line + "\n")
+        if done == total:
+            self.stream.write(self.summary_line(total) + "\n")
         self.stream.flush()
+
+    def summary_line(self, total: int) -> str:
+        """The end-of-batch roll-up printed after the last point."""
+        return (
+            f"[{self.label}] {total} point(s): {self.computed} computed "
+            f"({self.compute_time:.1f}s), {self.cache_hits} cache hit(s) "
+            f"(saved {self.saved_time:.1f}s)"
+        )
 
 
 class ParallelRunner:

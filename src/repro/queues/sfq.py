@@ -90,6 +90,10 @@ class SFQQueue(QueueDiscipline):
                 return False
             victim = victim_queue.pop()
             self._occupancy -= 1
+            # The victim was counted as enqueued when it was accepted;
+            # move that unit of "offered load" to the drop column so
+            # loss_rate() counts the eviction exactly once.
+            self.enqueued = max(0, self.enqueued - 1)
             self._record_drop(victim, now)
         self._queues[bucket].append(packet)
         self._occupancy += 1

@@ -64,26 +64,32 @@ class Simulator:
 
         With ``until`` set, events up to and including that time are
         processed and the clock is left exactly at ``until``; without it,
-        the loop drains the queue.
+        the loop drains the queue.  ``max_events`` is an exact budget:
+        :class:`SimulationError` is raised on the attempt to process
+        event ``max_events + 1``, never after it has run.
         """
         events = self.events
         while True:
             next_time = events.peek_time()
             if next_time is None or (until is not None and next_time > until):
                 break
+            if self.max_events is not None and self.processed >= self.max_events:
+                raise SimulationError(f"exceeded max_events={self.max_events}")
             event = events.pop()
             assert event is not None
             self.now = event.time
             event.fired = True
             event.callback(*event.args)
             self.processed += 1
-            if self.max_events is not None and self.processed > self.max_events:
-                raise SimulationError(f"exceeded max_events={self.max_events}")
         if until is not None and until > self.now:
             self.now = until
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
+        if self.events.peek_time() is None:
+            return False
+        if self.max_events is not None and self.processed >= self.max_events:
+            raise SimulationError(f"exceeded max_events={self.max_events}")
         event = self.events.pop()
         if event is None:
             return False

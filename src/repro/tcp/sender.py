@@ -149,6 +149,11 @@ class TCPSender:
         self.on_complete = on_complete
         self.pool_id = -1
 
+        #: Optional telemetry probe (``repro.obs``): an object with
+        #: ``emit(kind, now, flow_id=..., **fields)``.  None (the
+        #: default) keeps the send path free of instrumentation.
+        self.probe = None
+
         self.state = "closed"  # closed -> syn_sent -> established -> done
         self.cwnd = self.initial_cwnd
         self.ssthresh = float(initial_ssthresh)
@@ -199,6 +204,13 @@ class TCPSender:
             return
         self._syn_retries += 1
         self.stats.syn_retries += 1
+        if self.probe is not None:
+            self.probe.emit(
+                "syn_retry",
+                self.sim.now,
+                flow_id=self.flow_id,
+                attempt=self._syn_retries,
+            )
         self._send_syn()
 
     @property
@@ -245,6 +257,10 @@ class TCPSender:
             if seq == self._timed_seq:
                 # Karn: the timed segment became ambiguous.
                 self._timed_seq = None
+            if self.probe is not None:
+                self.probe.emit(
+                    "retransmit", self.sim.now, flow_id=self.flow_id, seq=seq
+                )
         else:
             self.stats.data_sent += 1
             if self._timed_seq is None:
@@ -393,6 +409,10 @@ class TCPSender:
 
     def _fast_retransmit(self, now: float) -> None:
         self.stats.fast_retransmits += 1
+        if self.probe is not None:
+            self.probe.emit(
+                "fast_retransmit", now, flow_id=self.flow_id, seq=self.snd_una
+            )
         self.ssthresh = max(self._pipe() / 2.0, 2.0)
         self.in_recovery = True
         self.recover = self.snd_next - 1
@@ -437,6 +457,15 @@ class TCPSender:
         self.stats.max_backoff_seen = max(
             self.stats.max_backoff_seen, self.rto.backoff_exponent
         )
+        if self.probe is not None:
+            self.probe.emit(
+                "rto",
+                now,
+                flow_id=self.flow_id,
+                backoff=self.rto.backoff_exponent,
+                rto=self.rto.rto,
+                snd_una=self.snd_una,
+            )
         self.ssthresh = max(self._pipe() / 2.0, 2.0)
         self.cwnd = 1.0
         self.dupacks = 0

@@ -66,6 +66,46 @@ def test_load_skips_blank_lines():
     assert len(load_trace(buffer)) == 1
 
 
+def test_observe_drop_marks_record_dropped():
+    recorder = PacketTraceRecorder()
+    recorder.observe(data(seq=0), 1.0)
+    recorder.observe_drop(data(seq=1), 2.0)
+    assert [r.dropped for r in recorder.records] == [False, True]
+
+
+def test_dropped_field_round_trips():
+    recorder = PacketTraceRecorder()
+    recorder.observe(data(seq=0), 1.0)
+    recorder.observe_drop(data(seq=1), 2.0)
+    buffer = io.StringIO()
+    save_trace(recorder.records, buffer)
+    buffer.seek(0)
+    assert load_trace(buffer) == recorder.records
+
+
+def test_load_pre_drop_tap_trace_defaults_dropped_false():
+    # JSONL written before the dropped field existed must still load.
+    buffer = io.StringIO(
+        '{"time":1.0,"flow_id":1,"kind":"data","seq":0,"size":500,"retransmit":false}\n'
+    )
+    records = load_trace(buffer)
+    assert records == [TraceRecord(1.0, 1, DATA, 0, 500, False)]
+    assert records[0].dropped is False
+
+
+def test_drop_tap_on_queue():
+    from repro.queues import DropTailQueue
+
+    queue = DropTailQueue(2)
+    recorder = PacketTraceRecorder()
+    queue.add_drop_observer(recorder.observe_drop)
+    for seq in range(4):
+        queue.enqueue(data(seq=seq), 0.1 * (seq + 1))
+    assert len(recorder) == 2
+    assert all(r.dropped for r in recorder.records)
+    assert [r.seq for r in recorder.records] == [2, 3]
+
+
 def test_live_tap_on_dumbbell():
     from repro.net.topology import Dumbbell
     from repro.sim.simulator import Simulator

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry and its JSONL persistence."""
+
+import io
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    load_metrics_jsonl,
+)
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_set_counter_imports_component_total(self):
+        registry = MetricsRegistry()
+        registry.set_counter("q.enqueued", 123)
+        assert registry.counter("q.enqueued").value == 123
+
+
+class TestGauge:
+    def test_reads_live_value(self):
+        registry = MetricsRegistry()
+        box = {"v": 1.0}
+        gauge = registry.gauge("g", lambda: box["v"])
+        assert gauge.read() == 1.0
+        box["v"] = 7.5
+        assert gauge.read() == 7.5
+
+    def test_sample_gauges_appends_to_matching_series(self):
+        registry = MetricsRegistry()
+        box = {"v": 2.0}
+        registry.gauge("g", lambda: box["v"])
+        registry.sample_gauges(1.0)
+        box["v"] = 3.0
+        registry.sample_gauges(2.0)
+        assert registry.time_series("g").samples == [(1.0, 2.0), (2.0, 3.0)]
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert 45 <= summary["p50"] <= 55
+        assert summary["p95"] >= 90
+
+    def test_reservoir_is_deterministic(self):
+        a, b = Histogram("h"), Histogram("h")
+        for value in range(10_000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.summary() == b.summary()
+
+
+class TestTimeSeries:
+    def test_summary_includes_last(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        series.append(1.0, 3.0)
+        summary = series.summary()
+        assert summary["count"] == 2
+        assert summary["last"] == 3.0
+
+
+class TestJsonlRoundTrip:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("drops").inc(7)
+        histogram = registry.histogram("delay")
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        series = registry.time_series("depth")
+        series.append(1.0, 4.0)
+        series.append(2.0, 6.0)
+        return registry
+
+    def test_round_trip(self):
+        registry = self.build()
+        buffer = io.StringIO("\n".join(registry.to_jsonl()))
+        loaded = load_metrics_jsonl(buffer)
+        assert loaded["counters"]["drops"] == 7
+        assert loaded["histograms"]["delay"]["count"] == 3
+        assert loaded["series"]["depth"] == [(1.0, 4.0), (2.0, 6.0)]
+
+    def test_write_jsonl_to_path(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self.build().write_jsonl(str(path))
+        loaded = load_metrics_jsonl(str(path))
+        assert loaded["counters"]["drops"] == 7
+
+    def test_newer_schema_rejected(self):
+        newer = io.StringIO(
+            '{"type":"meta","schema":"repro.obs.metrics","version":%d}\n'
+            % (METRICS_SCHEMA_VERSION + 1)
+        )
+        with pytest.raises(ValueError):
+            load_metrics_jsonl(newer)
+
+    def test_unknown_record_types_skipped(self):
+        buffer = io.StringIO(
+            '{"type":"meta","schema":"repro.obs.metrics","version":1}\n'
+            '{"type":"hologram","name":"x"}\n'
+            '{"type":"counter","name":"c","value":2}\n'
+        )
+        loaded = load_metrics_jsonl(buffer)
+        assert loaded["counters"] == {"c": 2}
+
+    def test_summary_is_deterministic(self):
+        assert self.build().summary() == self.build().summary()

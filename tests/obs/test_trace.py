@@ -1,0 +1,114 @@
+"""The structured event trace: emit, persist, reload, summarize."""
+
+import io
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    EventTrace,
+    TraceEvent,
+    load_events,
+    save_events,
+    summarize_events,
+)
+
+
+def build_trace() -> EventTrace:
+    trace = EventTrace()
+    trace.emit("drop", 1.0, flow_id=3, pkt="data", seq=17)
+    trace.emit("drop", 1.5, flow_id=3, pkt="data", seq=18)
+    trace.emit("rto", 2.0, flow_id=3, backoff=1, rto=2.0)
+    trace.emit("rto", 6.0, flow_id=3, backoff=2, rto=4.0)
+    trace.emit("rto", 2.5, flow_id=4, backoff=0, rto=1.0)
+    trace.emit("flow_state", 3.0, flow_id=4, prev="normal", next="loss_recovery")
+    return trace
+
+
+def test_round_trip_preserves_everything():
+    trace = build_trace()
+    buffer = io.StringIO()
+    written = save_events(trace.events, buffer)
+    assert written == len(trace)
+    buffer.seek(0)
+    loaded = load_events(buffer)
+    assert len(loaded) == len(trace.events)
+    for original, reloaded in zip(trace.events, loaded):
+        assert reloaded.time == original.time
+        assert reloaded.kind == original.kind
+        assert reloaded.flow_id == original.flow_id
+        assert reloaded.fields == original.fields
+
+
+def test_round_trip_then_summarize():
+    trace = build_trace()
+    buffer = io.StringIO()
+    save_events(trace.events, buffer)
+    buffer.seek(0)
+    summary = summarize_events(load_events(buffer))
+    assert summary == summarize_events(trace.events)
+    assert summary["events"] == {"drop": 2, "flow_state": 1, "rto": 3}
+    assert summary["drops_by_flow"] == {3: 2}
+    assert summary["rto_by_flow"] == {3: 2, 4: 1}
+    assert summary["max_backoff_by_flow"] == {3: 2, 4: 0}
+
+
+def test_header_written_first():
+    buffer = io.StringIO()
+    save_events([], buffer)
+    first = buffer.getvalue().splitlines()[0]
+    assert '"schema":"repro.obs.trace"' in first
+    assert f'"version":{TRACE_SCHEMA_VERSION}' in first
+
+
+def test_missing_header_tolerated():
+    buffer = io.StringIO('{"t":1.0,"kind":"drop","flow":2}\n')
+    events = load_events(buffer)
+    assert len(events) == 1
+    assert events[0].flow_id == 2
+
+
+def test_unknown_kinds_and_fields_tolerated():
+    buffer = io.StringIO(
+        '{"type":"meta","schema":"repro.obs.trace","version":1}\n'
+        '{"t":1.0,"kind":"quantum_flux","flow":2,"novel_field":9}\n'
+    )
+    events = load_events(buffer)
+    assert events[0].kind == "quantum_flux"
+    assert events[0].fields["novel_field"] == 9
+
+
+def test_newer_schema_rejected():
+    buffer = io.StringIO(
+        '{"type":"meta","schema":"repro.obs.trace","version":%d}\n'
+        % (TRACE_SCHEMA_VERSION + 1)
+    )
+    with pytest.raises(ValueError):
+        load_events(buffer)
+
+
+def test_wrong_schema_rejected():
+    buffer = io.StringIO('{"type":"meta","schema":"somebody.else","version":1}\n')
+    with pytest.raises(ValueError):
+        load_events(buffer)
+
+
+def test_flowless_event_omits_flow_key():
+    event = TraceEvent(1.0, "drop")
+    assert '"flow"' not in event.to_json()
+    buffer = io.StringIO(event.to_json() + "\n")
+    assert load_events(buffer)[0].flow_id == -1
+
+
+def test_limit_truncates_and_flags():
+    trace = EventTrace(limit=2)
+    for i in range(5):
+        trace.emit("drop", float(i), flow_id=1)
+    assert len(trace) == 2
+    assert trace.truncated
+
+
+def test_counts_by_flow_filters_kind():
+    trace = build_trace()
+    assert trace.counts_by_flow("rto") == {3: 2, 4: 1}
+    assert trace.counts_by_kind()["drop"] == 2

@@ -72,6 +72,39 @@ def test_max_events_guard():
         sim.run(until=1e9)
 
 
+def test_max_events_is_an_exact_budget():
+    # Regression: the guard used to fire only after processing event
+    # max_events + 1.  Exactly max_events callbacks may run, and the
+    # error is raised on the *attempt* to process the next one.
+    sim = Simulator(max_events=5)
+    fired = []
+    for i in range(8):
+        sim.schedule(0.1 * (i + 1), fired.append, (i,))
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.processed == 5
+
+
+def test_max_events_exactly_consumed_does_not_raise():
+    sim = Simulator(max_events=3)
+    fired = []
+    for i in range(3):
+        sim.schedule(0.1 * (i + 1), fired.append, (i,))
+    sim.run()  # queue drains at exactly the budget: no error
+    assert fired == [0, 1, 2]
+    assert sim.processed == 3
+
+
+def test_step_respects_max_events():
+    sim = Simulator(max_events=1)
+    sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    assert sim.step()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
 def test_step_processes_single_event():
     sim = Simulator()
     fired = []
