@@ -1,0 +1,87 @@
+"""Built-in queue disciplines, registered with :data:`repro.build.QUEUES`.
+
+Each builder takes a :class:`repro.build.harness.QueueContext` plus the
+spec's kind-specific parameters and returns a ready
+:class:`repro.queues.QueueDiscipline`.  Buffer sizing is the paper's
+"``buffer_rtts`` RTTs of packets at line rate" throughout
+(``ctx.buffer_pkts``).
+"""
+
+from __future__ import annotations
+
+from repro.build.harness import QueueContext
+from repro.build.registries import QUEUES
+
+
+@QUEUES.register("droptail")
+def build_droptail(ctx: QueueContext):
+    """Plain FIFO tail drop — the paper's "DT" baseline."""
+    from repro.queues import DropTailQueue
+
+    return DropTailQueue(ctx.buffer_pkts)
+
+
+@QUEUES.register("red")
+def build_red(ctx: QueueContext):
+    """Random Early Detection with the paper's byte-mode defaults."""
+    from repro.queues import REDQueue
+
+    return REDQueue(
+        ctx.buffer_pkts, ctx.sim.rng.stream("red"), mean_pkt_size=ctx.pkt_size
+    )
+
+
+@QUEUES.register("sfq")
+def build_sfq(ctx: QueueContext):
+    """Stochastic Fair Queueing, one bucket per expected buffer slot."""
+    from repro.queues import SFQQueue
+
+    return SFQQueue(
+        ctx.buffer_pkts, buckets=max(16, ctx.buffer_pkts), perturb_interval=10.0
+    )
+
+
+@QUEUES.register("taq")
+def build_taq(ctx: QueueContext, **taq_kwargs):
+    """The paper's Transparent AQM middlebox queue.
+
+    ``taq_kwargs`` go straight to :class:`repro.core.TAQQueue`
+    (ablations like ``classify_fair_share=False``, the
+    ``fairness_granularity``/``fairness_model`` variants, ...); the
+    epoch estimator is primed with the link RTT unless overridden.
+    """
+    from repro.core import TAQQueue
+
+    taq_kwargs.setdefault("default_epoch", ctx.rtt)
+    return TAQQueue(ctx.buffer_pkts, **taq_kwargs)
+
+
+@QUEUES.register("taq+ac")
+def build_taq_ac(
+    ctx: QueueContext,
+    admission=None,
+    t_wait: float = 3.0,
+    p_thresh: float = 0.1,
+    safety_margin: float = 0.9,
+    measure_interval: float = 2.0,
+    pool_idle_timeout: float = 60.0,
+    **taq_kwargs,
+):
+    """TAQ with the §4.3 admission controller at the gate.
+
+    The controller's knobs are declarative parameters (so a JSON
+    scenario can tune ``t_wait`` etc.); passing a pre-built
+    ``admission`` object overrides them all.
+    """
+    from repro.core import AdmissionController, TAQQueue
+
+    if admission is None:
+        admission = AdmissionController(
+            p_thresh=p_thresh,
+            safety_margin=safety_margin,
+            t_wait=t_wait,
+            measure_interval=measure_interval,
+            pool_idle_timeout=pool_idle_timeout,
+        )
+    taq_kwargs.setdefault("default_epoch", ctx.rtt)
+    return TAQQueue(ctx.buffer_pkts, admission=admission, **taq_kwargs)

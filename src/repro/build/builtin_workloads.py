@@ -1,0 +1,280 @@
+"""Built-in workload generators, registered with :data:`repro.build.WORKLOADS`.
+
+Each builder takes a :class:`repro.build.harness.WorkloadContext` plus
+the spec's parameters and returns a
+:class:`repro.build.harness.WorkloadGroup`.  RNG stream names and
+per-stream draw orders are part of each builder's contract — they are
+what make refactored experiments bit-identical to their historical
+inline construction — so changes here are result-changing even when
+they look cosmetic.
+
+Defaults follow the historical JSON scenario runner: when ``rng_name``
+or ``first_flow_id`` is omitted, the context supplies the position-
+derived values the runner always used (``bulk-0``, ``web-1``,
+``first_flow_id = 10_000 + 1_000 * index``, ...).  Experiment modules
+pass their historical explicit values instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Sequence
+
+from repro.build.harness import WorkloadContext, WorkloadGroup
+from repro.build.registries import WORKLOADS
+
+
+@WORKLOADS.register("bulk")
+def build_bulk(
+    ctx: WorkloadContext,
+    n_flows: int,
+    start_window: float = 5.0,
+    extra_rtt_max: float = 0.1,
+    size_segments: Optional[int] = None,
+    first_flow_id: Optional[int] = None,
+    rng_name: Optional[str] = None,
+    extra_rtt_override: Optional[float] = None,
+    **flow_kwargs: Any,
+) -> WorkloadGroup:
+    """Long-running flows — the backbone population of Figs 2, 8, 9.
+
+    ``extra_rtt_override`` pins every flow's access RTT to a fixed value
+    *after* spawning, so the per-flow rng draws (and hence every stream
+    position) stay exactly where the historical inline code left them —
+    the RTT-fairness experiment gives its short and long classes fixed
+    RTTs this way.
+    """
+    from repro.workloads import spawn_bulk_flows
+
+    flows = spawn_bulk_flows(
+        ctx.topology,
+        n_flows,
+        start_window=start_window,
+        extra_rtt_max=extra_rtt_max,
+        size_segments=size_segments,
+        first_flow_id=ctx.flows_spawned if first_flow_id is None else first_flow_id,
+        rng_name=ctx.default_rng_name("bulk") if rng_name is None else rng_name,
+        **flow_kwargs,
+    )
+    if extra_rtt_override is not None:
+        for flow in flows:
+            flow.extra_rtt = extra_rtt_override
+    return WorkloadGroup(kind="bulk", flows=flows)
+
+
+@WORKLOADS.register("web")
+def build_web(
+    ctx: WorkloadContext,
+    n_users: int,
+    objects_per_user: int,
+    object_bytes: int = 20_000,
+    connections: int = 4,
+    start_window: float = 10.0,
+    first_flow_id: Optional[int] = None,
+    rng_name: Optional[str] = None,
+    **user_kwargs: Any,
+) -> WorkloadGroup:
+    """Browser sessions: pools of connections draining fixed objects."""
+    from repro.workloads import spawn_web_users
+
+    users = spawn_web_users(
+        ctx.topology,
+        n_users,
+        objects_per_user=objects_per_user,
+        size_bytes=object_bytes,
+        connections=connections,
+        start_window=start_window,
+        first_flow_id=(
+            10_000 + 1_000 * ctx.index if first_flow_id is None else first_flow_id
+        ),
+        rng_name=ctx.default_rng_name("web") if rng_name is None else rng_name,
+        **user_kwargs,
+    )
+    return WorkloadGroup(kind="web", users=users)
+
+
+@WORKLOADS.register("short")
+def build_short(
+    ctx: WorkloadContext,
+    lengths: Sequence[int],
+    start_time: float = 10.0,
+    spacing: float = 1.0,
+    first_flow_id: Optional[int] = None,
+    **flow_kwargs: Any,
+) -> WorkloadGroup:
+    """Deterministically spaced short flows (Fig 10's probes)."""
+    from repro.workloads import spawn_short_flows
+
+    flows = spawn_short_flows(
+        ctx.topology,
+        lengths,
+        start_time=start_time,
+        spacing=spacing,
+        first_flow_id=(
+            50_000 + 1_000 * ctx.index if first_flow_id is None else first_flow_id
+        ),
+        **flow_kwargs,
+    )
+    return WorkloadGroup(kind="short", flows=flows)
+
+
+@WORKLOADS.register("trace")
+def build_trace(
+    ctx: WorkloadContext,
+    trace_seed: int = 0,
+    n_clients: int = 40,
+    trace_duration: float = 300.0,
+    requests_per_client_per_sec: float = 0.05,
+    median_bytes: float = 8_000.0,
+    sigma: float = 2.2,
+    max_object_bytes: int = 2_000_000,
+    connections: int = 4,
+    first_flow_id: int = 0,
+    max_objects_per_client: Optional[int] = None,
+    **user_kwargs: Any,
+) -> WorkloadGroup:
+    """Synthesize a proxy access log and replay it (Fig 1's setting).
+
+    Trace generation is seeded independently of the simulator
+    (``trace_seed``), exactly as :func:`repro.workloads.generate_trace`
+    has always been driven.
+    """
+    from repro.workloads import generate_trace, replay_trace
+
+    trace = generate_trace(
+        seed=trace_seed,
+        n_clients=n_clients,
+        duration=trace_duration,
+        requests_per_client_per_sec=requests_per_client_per_sec,
+        median_bytes=median_bytes,
+        sigma=sigma,
+        max_object_bytes=max_object_bytes,
+    )
+    users = replay_trace(
+        ctx.topology,
+        trace,
+        connections=connections,
+        first_flow_id=first_flow_id,
+        max_objects_per_client=max_objects_per_client,
+        **user_kwargs,
+    )
+    return WorkloadGroup(kind="trace", users=users, trace=trace)
+
+
+@WORKLOADS.register("web-bands")
+def build_web_bands(
+    ctx: WorkloadContext,
+    n_users: int,
+    objects_per_user: int,
+    small_band: Sequence[int] = (10_000, 20_000),
+    large_band: Sequence[int] = (100_000, 110_000),
+    large_fraction: float = 0.25,
+    connections: int = 4,
+    arrival_window: float = 120.0,
+    rng_name: str = "fig12-objects",
+    first_flow_id: int = 0,
+    persistent_syn: bool = True,
+    **user_kwargs: Any,
+) -> WorkloadGroup:
+    """Two-band web sessions arriving over a window (Fig 12's clients).
+
+    Draw order (load-bearing): the full per-user object schedule is
+    sampled first, then each user's start time and access RTT come from
+    the same stream as the sessions are created.
+    """
+    from repro.workloads.web import WebUser
+
+    rng = ctx.sim.rng.stream(rng_name)
+    lo_s, hi_s = small_band
+    lo_l, hi_l = large_band
+    schedule: List[List[int]] = []
+    for _ in range(n_users):
+        sizes = []
+        for _ in range(objects_per_user):
+            if rng.random() < large_fraction:
+                sizes.append(rng.randint(lo_l, hi_l))
+            else:
+                sizes.append(rng.randint(lo_s, hi_s))
+        schedule.append(sizes)
+    flow_ids = itertools.count(first_flow_id)
+    users = [
+        WebUser(
+            ctx.topology,
+            user_id,
+            sizes,
+            flow_ids,
+            connections=connections,
+            start_time=rng.uniform(0.0, arrival_window),
+            extra_rtt=rng.uniform(0.0, 0.05),
+            persistent_syn=persistent_syn,
+            **user_kwargs,
+        )
+        for user_id, sizes in enumerate(schedule)
+    ]
+    return WorkloadGroup(kind="web-bands", users=users)
+
+
+@WORKLOADS.register("flow-pools")
+def build_flow_pools(
+    ctx: WorkloadContext,
+    pool_sizes: Sequence[int],
+    start_window: float = 5.0,
+    extra_rtt_max: float = 0.1,
+    rng_name: str = "pool-fairness",
+    first_flow_id: int = 0,
+    **flow_kwargs: Any,
+) -> WorkloadGroup:
+    """Long-running flows grouped into per-user pools (§4.3's setting).
+
+    ``pool_sizes[i]`` connections are opened for user ``i``, each flow
+    tagged ``pool_id = i``; ``group.pools`` keeps the per-user grouping.
+    """
+    from repro.tcp.flow import TcpFlow
+
+    rng = ctx.sim.rng.stream(rng_name)
+    flow_ids = itertools.count(first_flow_id)
+    pools: List[List[Any]] = []
+    for user_id, n_conns in enumerate(pool_sizes):
+        pools.append(
+            [
+                TcpFlow(
+                    ctx.topology,
+                    next(flow_ids),
+                    size_segments=None,
+                    start_time=rng.uniform(0.0, start_window),
+                    extra_rtt=rng.uniform(0.0, extra_rtt_max),
+                    pool_id=user_id,
+                    **flow_kwargs,
+                )
+                for _ in range(n_conns)
+            ]
+        )
+    return WorkloadGroup(
+        kind="flow-pools", flows=[f for pool in pools for f in pool], pools=pools
+    )
+
+
+@WORKLOADS.register("tfrc")
+def build_tfrc(
+    ctx: WorkloadContext,
+    n_flows: int,
+    start_window: float = 5.0,
+    extra_rtt_max: float = 0.1,
+    rng_name: str = "tfrc-starts",
+    first_flow_id: int = 0,
+) -> WorkloadGroup:
+    """Equation-based TFRC senders (§2.3's transport-variant matrix)."""
+    from repro.tcp.tfrc import TfrcFlow
+
+    rng = ctx.sim.rng.stream(rng_name)
+    flows = [
+        TfrcFlow(
+            ctx.topology,
+            first_flow_id + i,
+            size_segments=None,
+            start_time=rng.uniform(0.0, start_window),
+            extra_rtt=rng.uniform(0.0, extra_rtt_max),
+        )
+        for i in range(n_flows)
+    ]
+    return WorkloadGroup(kind="tfrc", flows=flows)

@@ -74,6 +74,53 @@ def engine_kwargs(module, args) -> dict:
     return kwargs
 
 
+def _run_scenarios(args) -> int:
+    """Run one or more JSON scenario documents.
+
+    Every file is parsed (strictly) before anything runs, so a typo in
+    the third document fails fast.  With ``--jobs N`` and several files
+    the runs fan out across the process pool; outcomes print in file
+    order either way, so jobs=1 and jobs=N output is identical.
+    """
+    from repro.build import ScenarioSpec
+    from repro.experiments.scenario import ScenarioError, run_scenario
+
+    specs = []
+    for path in args.scenario_file:
+        try:
+            specs.append(ScenarioSpec.from_file(path))
+        except (ScenarioError, OSError) as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
+    jobs = args.jobs if args.jobs is not None else 1
+    if jobs != 1 and len(specs) > 1:
+        from repro.parallel import ParallelRunner, PointSpec
+
+        points = [
+            PointSpec(
+                "repro.experiments.scenario:run_scenario_file",
+                dict(path=path),
+                label=spec.name,
+                scenario=spec.canonical(),
+            )
+            for path, spec in zip(args.scenario_file, specs)
+        ]
+        runner = ParallelRunner(jobs=jobs, cache=None)
+        outcomes = [result.value for result in runner.run(points)]
+    else:
+        outcomes = [run_scenario(spec) for spec in specs]
+    for outcome in outcomes:
+        print(outcome)
+    if args.csv:
+        if len(outcomes) == 1:
+            outcomes[0].table().write_csv(args.csv)
+            print(f"(csv written to {args.csv})")
+        else:
+            print("(note: --csv supports a single scenario file; ignored)",
+                  file=sys.stderr)
+    return 0
+
+
 def _run_tipping_point() -> int:
     from repro.model import find_tipping_point
 
@@ -95,9 +142,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "scenario_file",
-        nargs="?",
-        default=None,
-        help="JSON scenario document (only with the 'scenario' command)",
+        nargs="*",
+        default=[],
+        help="JSON scenario documents (only with the 'scenario' command); "
+             "several files fan out across --jobs workers",
     )
     parser.add_argument(
         "--paper",
@@ -145,20 +193,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_tipping_point()
     if args.experiment == "scenario":
         if not args.scenario_file:
-            print("usage: taq-experiments scenario <file.json>", file=sys.stderr)
+            print(
+                "usage: taq-experiments scenario <file.json> [more.json ...]",
+                file=sys.stderr,
+            )
             return 2
-        from repro.experiments.scenario import ScenarioError, run_scenario_file
-
-        try:
-            outcome = run_scenario_file(args.scenario_file)
-        except (ScenarioError, OSError) as exc:
-            print(f"scenario error: {exc}", file=sys.stderr)
-            return 2
-        print(outcome)
-        if args.csv:
-            outcome.table().write_csv(args.csv)
-            print(f"(csv written to {args.csv})")
-        return 0
+        return _run_scenarios(args)
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2

@@ -17,14 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.metrics.downloads import (
     BucketStats,
     DownloadSample,
     bucket_statistics,
     spread_orders_of_magnitude,
 )
-from repro.workloads import generate_trace, replay_trace
 
 
 @dataclass
@@ -84,19 +84,36 @@ class Result:
         return str(self.table())
 
 
-def run(config: Config = Config()) -> Result:
-    bench = build_dumbbell(
-        config.queue_kind, config.capacity_bps, rtt=config.rtt, seed=config.seed
-    )
-    trace = generate_trace(
+def scenario_for(config: Config) -> ScenarioSpec:
+    """The declarative description of the fig01 trace replay."""
+    return dumbbell_spec(
+        config.queue_kind,
+        config.capacity_bps,
+        rtt=config.rtt,
         seed=config.seed,
-        n_clients=config.n_clients,
-        duration=config.duration * 0.7,  # leave tail time to finish downloads
-        requests_per_client_per_sec=config.requests_per_client_per_sec,
-        max_object_bytes=config.max_object_bytes,
+        duration=config.duration,
+        name="fig01-trace-replay",
+        workloads=[
+            WorkloadSpec(
+                "trace",
+                dict(
+                    trace_seed=config.seed,
+                    n_clients=config.n_clients,
+                    # Leave tail time to finish downloads.
+                    trace_duration=config.duration * 0.7,
+                    requests_per_client_per_sec=config.requests_per_client_per_sec,
+                    max_object_bytes=config.max_object_bytes,
+                    connections=config.connections,
+                ),
+            )
+        ],
     )
-    users = replay_trace(bench.bell, trace, connections=config.connections)
-    bench.sim.run(until=config.duration)
+
+
+def run(config: Config = Config()) -> Result:
+    built = build_simulation(scenario_for(config))
+    built.run()
+    users = built.users
     samples = [s for user in users for s in user.samples]
     outstanding = sum(len(user.pending) + user._in_flight for user in users)
     return Result(

@@ -13,14 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
 from repro.experiments.runner import (
     TableResult,
-    build_dumbbell,
+    dumbbell_spec,
     instrument_point,
     telemetry_payload,
 )
 from repro.parallel import ParallelRunner, PointSpec
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -89,6 +89,44 @@ class BufferPoint:
     telemetry: Optional[dict] = None
 
 
+def buffer_point_scenario(
+    fair_share_pkts: float,
+    buffer_rtts: float,
+    capacity_bps: float,
+    rtt: float = 0.2,
+    pkt_size: int = 500,
+    slice_seconds: float = 20.0,
+    seed: int = 1,
+    duration: float = 120.0,
+) -> ScenarioSpec:
+    """The declarative description of one (fair share, buffer) cell."""
+    fair_share_bps = fair_share_pkts * pkt_size * 8 / rtt
+    n_flows = max(2, round(capacity_bps / fair_share_bps))
+    return dumbbell_spec(
+        "droptail",
+        capacity_bps,
+        rtt=rtt,
+        pkt_size=pkt_size,
+        seed=seed,
+        slice_seconds=slice_seconds,
+        buffer_rtts=buffer_rtts,
+        duration=duration,
+        name=f"fig03-buf{buffer_rtts:g}rtt-share{fair_share_pkts:g}pkt",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            )
+        ],
+    )
+
+
 def run_buffer_point(
     fair_share_pkts: float,
     buffer_rtts: float,
@@ -102,45 +140,41 @@ def run_buffer_point(
     sample_interval: float = 1.0,
 ) -> BufferPoint:
     """Measure one (fair share, buffer) cell of the tradeoff grid."""
-    fair_share_bps = fair_share_pkts * pkt_size * 8 / rtt
-    n_flows = max(2, round(capacity_bps / fair_share_bps))
-    bench = build_dumbbell(
-        "droptail",
-        capacity_bps,
-        rtt=rtt,
-        pkt_size=pkt_size,
-        seed=seed,
-        slice_seconds=slice_seconds,
-        buffer_rtts=buffer_rtts,
+    scenario = buffer_point_scenario(
+        fair_share_pkts, buffer_rtts, capacity_bps,
+        rtt=rtt, pkt_size=pkt_size, slice_seconds=slice_seconds,
+        seed=seed, duration=duration,
     )
-    flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    built = build_simulation(scenario)
+    flows = built.flows
     telemetry = None
     run_id = f"droptail-buf{buffer_rtts:g}rtt-share{fair_share_pkts:g}pkt-seed{seed}"
     if telemetry_dir is not None:
         telemetry = instrument_point(
-            bench.sim, bench.queue, bench.bell.forward, flows,
+            built.sim, built.queue, built.topology.forward, flows,
             telemetry_dir, run_id, sample_interval=sample_interval,
         )
-    bench.sim.run(until=duration)
+    built.run()
     payload = None
     if telemetry is not None:
         payload = telemetry_payload(
             telemetry,
-            bench.sim,
+            built.sim,
             run_id=run_id,
             seed=seed,
             topology=dict(
                 capacity_bps=capacity_bps, rtt=rtt, pkt_size=pkt_size,
-                n_flows=n_flows, buffer_rtts=buffer_rtts,
+                n_flows=len(flows), buffer_rtts=buffer_rtts,
             ),
             qdisc=dict(kind="droptail"),
             duration=duration,
+            scenario=scenario.canonical(),
         )
-    stats = bench.bell.forward.stats
+    stats = built.topology.forward.stats
     return BufferPoint(
         fair_share_pkts=fair_share_pkts,
         buffer_rtts=buffer_rtts,
-        jfi=bench.collector.mean_short_term_jain([f.flow_id for f in flows]),
+        jfi=built.collector.mean_short_term_jain([f.flow_id for f in flows]),
         mean_delay=stats.mean_queue_delay(),
         p95_delay=stats.queue_delay_percentile(95),
         telemetry=payload,
@@ -182,6 +216,12 @@ def run(
                         **extra,
                     ),
                     label=f"droptail buf={buffer_rtts:g}rtt share={fair_share_pkts:g}pkt",
+                    scenario=buffer_point_scenario(
+                        fair_share_pkts, buffer_rtts, config.capacity_bps,
+                        rtt=config.rtt, pkt_size=config.pkt_size,
+                        slice_seconds=config.slice_seconds,
+                        seed=config.seed, duration=config.duration,
+                    ).canonical(),
                 )
             )
     runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)

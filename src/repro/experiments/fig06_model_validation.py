@@ -26,9 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.model import build_full_model, build_partial_model, packets_sent_census
-from repro.workloads import spawn_bulk_flows
 
 
 def census_from_rounds(
@@ -160,26 +160,43 @@ class Result:
         return "{}\n\n{}".format(self.table(), self.panel_table())
 
 
+def scenario_for(config: Config, capacity_bps: float, n_flows: int) -> ScenarioSpec:
+    """The declarative description of one (bandwidth, contention) run."""
+    return dumbbell_spec(
+        config.queue_kind,
+        capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        duration=config.duration,
+        name=f"fig06-{int(capacity_bps)}bps-{n_flows}flows",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                    sack=True,
+                    max_cwnd=float(config.wmax),
+                    min_rto=2.0 * config.rtt,
+                    round_log=True,
+                ),
+            )
+        ],
+    )
+
+
 def run_point(
     capacity_bps: float,
     n_flows: int,
     config: Config,
 ) -> ValidationPoint:
-    bench = build_dumbbell(
-        config.queue_kind, capacity_bps, rtt=config.rtt, seed=config.seed
-    )
-    flows = spawn_bulk_flows(
-        bench.bell,
-        n_flows,
-        start_window=5.0,
-        extra_rtt_max=0.1,
-        sack=True,
-        max_cwnd=float(config.wmax),
-        min_rto=2.0 * config.rtt,
-        round_log=True,
-    )
-    bench.sim.run(until=config.duration)
-    p = bench.queue.loss_rate()
+    built = build_simulation(scenario_for(config, capacity_bps, n_flows))
+    built.run()
+    flows = built.flows
+    p = built.queue.loss_rate()
     rounds_by_flow = {f.flow_id: f.sender.round_log.rounds for f in flows}
     epoch_by_flow = {
         f.flow_id: (f.sender.rto.srtt if f.sender.rto.has_sample else f.rtt)

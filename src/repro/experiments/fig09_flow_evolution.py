@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.metrics.evolution import FlowEvolution, classify_evolution, mean_counts
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -59,23 +59,41 @@ class Result:
         return str(self.table())
 
 
+def scenario_for(config: Config, kind: str) -> ScenarioSpec:
+    """The declarative description of one queue kind's fig09 run."""
+    return dumbbell_spec(
+        kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        slice_seconds=config.window_seconds,
+        duration=config.duration,
+        name=f"fig09-{kind}",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=config.n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            )
+        ],
+    )
+
+
 def run(config: Config = Config()) -> Result:
     result = Result()
     for kind in config.queue_kinds:
-        bench = build_dumbbell(
-            kind,
-            config.capacity_bps,
-            rtt=config.rtt,
-            seed=config.seed,
-            slice_seconds=config.window_seconds,
-        )
-        flows = spawn_bulk_flows(bench.bell, config.n_flows, start_window=5.0,
-                                 extra_rtt_max=0.1)
-        bench.sim.run(until=config.duration)
+        built = build_simulation(scenario_for(config, kind))
+        built.run()
+        flows = built.flows
         # Skip the first few windows (flows still starting up).
         start_index = int(10.0 / config.window_seconds) + 1
         windows = classify_evolution(
-            bench.collector, [f.flow_id for f in flows], start_index=start_index
+            built.collector, [f.flow_id for f in flows], start_index=start_index
         )
         result.series[kind] = windows
         result.means[kind] = mean_counts(windows)

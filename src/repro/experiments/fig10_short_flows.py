@@ -15,8 +15,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import TableResult, build_dumbbell
-from repro.workloads import spawn_bulk_flows, spawn_short_flows
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 
 
 @dataclass
@@ -38,6 +38,14 @@ class Config:
     @classmethod
     def paper(cls) -> "Config":
         return cls(short_lengths=tuple(range(1, 81, 2)), duration=400.0)
+
+    @classmethod
+    def with_favorqueue(cls) -> "Config":
+        """Adds a FavorQueue column (Anelli et al.'s short-flow-favoring
+        AQM) next to the paper's pair.  The discipline enters purely
+        through the queue registry — nothing in this module knows it
+        exists beyond its kind string."""
+        return cls(queue_kinds=("taq", "droptail", "favorqueue"))
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -91,21 +99,45 @@ class Result:
         return str(self.table())
 
 
+def scenario_for(config: Config, kind: str) -> ScenarioSpec:
+    """The declarative description of one queue kind's fig10 run."""
+    return dumbbell_spec(
+        kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        duration=config.duration,
+        name=f"fig10-{kind}",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=config.n_long_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            ),
+            WorkloadSpec(
+                "short",
+                dict(
+                    lengths=list(config.short_lengths),
+                    start_time=config.warmup,
+                    spacing=2.0,
+                    first_flow_id=10_000,
+                ),
+            ),
+        ],
+    )
+
+
 def run(config: Config = Config()) -> Result:
     result = Result()
     for kind in config.queue_kinds:
-        bench = build_dumbbell(
-            kind, config.capacity_bps, rtt=config.rtt, seed=config.seed
-        )
-        spawn_bulk_flows(bench.bell, config.n_long_flows, start_window=5.0,
-                         extra_rtt_max=0.1)
-        shorts = spawn_short_flows(
-            bench.bell,
-            config.short_lengths,
-            start_time=config.warmup,
-            spacing=2.0,
-        )
-        bench.sim.run(until=config.duration)
+        built = build_simulation(scenario_for(config, kind))
+        built.run()
+        shorts = built.groups[1].flows
         result.points[kind] = [
             (f.size_segments, f.download_time) for f in shorts
         ]

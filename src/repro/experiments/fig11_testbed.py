@@ -17,19 +17,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core import TAQQueue
+from repro.build import (
+    MetricsSpec,
+    QueueSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_simulation,
+)
 from repro.experiments.runner import (
     TableResult,
     instrument_point,
-    make_queue,
     telemetry_payload,
 )
 from repro.experiments.sweeps import flows_for_fair_share
-from repro.metrics import SliceGoodputCollector
 from repro.parallel import ParallelRunner, PointSpec
-from repro.sim.simulator import Simulator
-from repro.testbed import TestbedDumbbell
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -91,6 +93,42 @@ class Result:
         return str(self.table())
 
 
+def testbed_point_scenario(
+    queue_kind: str,
+    capacity_bps: float,
+    fair_share_bps: float,
+    duration: float,
+    rtt: float,
+    slice_seconds: float,
+    seed: int,
+) -> ScenarioSpec:
+    """The declarative description of one testbed sweep point."""
+    n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
+    return ScenarioSpec(
+        name=(
+            f"fig11-{queue_kind}-{int(capacity_bps)}bps-"
+            f"share{int(fair_share_bps)}"
+        ),
+        seed=seed,
+        duration=duration,
+        topology=TopologySpec(capacity_bps=capacity_bps, kind="testbed", rtt=rtt),
+        queue=QueueSpec(kind=queue_kind),
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            )
+        ],
+        metrics=MetricsSpec(slice_seconds=slice_seconds),
+    )
+
+
 def run_testbed_point(
     queue_kind: str,
     capacity_bps: float,
@@ -104,14 +142,13 @@ def run_testbed_point(
 ) -> TestbedPoint:
     """Measure one testbed sweep point — picklable for the pool."""
     n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
-    sim = Simulator(seed=seed)
-    queue = make_queue(queue_kind, sim, capacity_bps, rtt)
-    bed = TestbedDumbbell(sim, capacity_bps, rtt, queue=queue)
-    if isinstance(queue, TAQQueue):
-        queue.install_reverse_tap(bed.reverse)
-    collector = SliceGoodputCollector(slice_seconds)
-    bed.forward.add_delivery_tap(collector.observe)
-    flows = spawn_bulk_flows(bed, n_flows, start_window=5.0, extra_rtt_max=0.1)
+    scenario = testbed_point_scenario(
+        queue_kind, capacity_bps, fair_share_bps, duration, rtt,
+        slice_seconds, seed,
+    )
+    built = build_simulation(scenario)
+    sim, queue, bed = built.sim, built.queue, built.topology
+    collector, flows = built.collector, built.flows
     telemetry = None
     run_id = (
         f"testbed-{queue_kind}-{int(capacity_bps)}bps-"
@@ -134,6 +171,7 @@ def run_testbed_point(
                 capacity_bps=capacity_bps, rtt=rtt, n_flows=n_flows, testbed=True
             ),
             qdisc=dict(kind=queue_kind),
+            scenario=scenario.canonical(),
             duration=duration,
         )
     return TestbedPoint(
@@ -173,6 +211,10 @@ def run(
                 **extra,
             ),
             label=f"testbed {kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
+            scenario=testbed_point_scenario(
+                kind, capacity, fair_share, config.duration, config.rtt,
+                config.slice_seconds, config.seed,
+            ).canonical(),
         )
         for kind in config.queue_kinds
         for capacity in config.capacities_bps

@@ -14,13 +14,12 @@ shrinks the variance across the board.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.metrics.downloads import cdf_percentile, cdf_points
-from repro.workloads.web import WebUser
 
 
 @dataclass
@@ -120,48 +119,45 @@ class Result:
         return str(self.table())
 
 
-def _object_schedule(config: Config, rng) -> List[List[int]]:
-    """Per-user object-size lists mixing the two bands."""
-    per_user = []
-    for _ in range(config.n_users):
-        sizes = []
-        for _ in range(config.objects_per_user):
-            if rng.random() < config.large_fraction:
-                sizes.append(rng.randint(*config.large_band))
-            else:
-                sizes.append(rng.randint(*config.small_band))
-        per_user.append(sizes)
-    return per_user
+def scenario_for(config: Config, kind: str) -> ScenarioSpec:
+    """The declarative description of one queue kind's fig12 run."""
+    # Per-kind queue knobs: only the admission-controlled variant takes
+    # the guaranteed-admission pacing parameter.
+    per_kind_params = {"taq+ac": dict(t_wait=config.t_wait)}
+    return dumbbell_spec(
+        kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        duration=config.duration,
+        name=f"fig12-{kind}",
+        workloads=[
+            WorkloadSpec(
+                "web-bands",
+                dict(
+                    n_users=config.n_users,
+                    objects_per_user=config.objects_per_user,
+                    small_band=list(config.small_band),
+                    large_band=list(config.large_band),
+                    large_fraction=config.large_fraction,
+                    connections=config.connections,
+                    arrival_window=config.arrival_window,
+                    rng_name="fig12-objects",
+                    first_flow_id=0,
+                    persistent_syn=True,  # §5.5: clients retry till admitted
+                ),
+            )
+        ],
+        **per_kind_params.get(kind, {}),
+    )
 
 
 def run(config: Config = Config()) -> Result:
     result = Result()
     for kind in config.queue_kinds:
-        extra = {}
-        if kind == "taq+ac":
-            from repro.core import AdmissionController
-
-            extra["admission"] = AdmissionController(t_wait=config.t_wait)
-        bench = build_dumbbell(
-            kind, config.capacity_bps, rtt=config.rtt, seed=config.seed, **extra
-        )
-        rng = bench.sim.rng.stream("fig12-objects")
-        schedule = _object_schedule(config, rng)
-        flow_ids = itertools.count(0)
-        users = [
-            WebUser(
-                bench.bell,
-                user_id,
-                sizes,
-                flow_ids,
-                connections=config.connections,
-                start_time=rng.uniform(0.0, config.arrival_window),
-                extra_rtt=rng.uniform(0.0, 0.05),
-                persistent_syn=True,  # §5.5: clients retry till admitted
-            )
-            for user_id, sizes in enumerate(schedule)
-        ]
-        bench.sim.run(until=config.duration)
+        built = build_simulation(scenario_for(config, kind))
+        built.run()
+        users = built.users
         small = BandResult()
         large = BandResult()
         lo_s, hi_s = config.small_band
@@ -174,6 +170,6 @@ def run(config: Config = Config()) -> Result:
                     large.durations.append(sample.duration)
         result.bands[(kind, "small")] = small
         result.bands[(kind, "large")] = large
-        refusals = getattr(bench.queue, "admission_refusals", 0)
+        refusals = getattr(built.queue, "admission_refusals", 0)
         result.refusals[kind] = refusals
     return result

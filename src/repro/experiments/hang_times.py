@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.metrics.hangs import longest_hang
-from repro.workloads import spawn_web_users
 
 
 @dataclass
@@ -81,22 +81,39 @@ class Result:
         return str(self.table())
 
 
+def scenario_for(config: Config, queue_kind: str, n_users: int) -> ScenarioSpec:
+    """The declarative description of one (queue, population) hang run."""
+    return dumbbell_spec(
+        queue_kind,
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        duration=config.duration,
+        name=f"hangs-{queue_kind}-{n_users}users",
+        workloads=[
+            WorkloadSpec(
+                "web",
+                dict(
+                    n_users=n_users,
+                    objects_per_user=config.objects_per_user,
+                    object_bytes=config.object_bytes,
+                    connections=config.connections,
+                    start_window=config.warmup,
+                    first_flow_id=0,
+                    rng_name="web-starts",
+                ),
+            )
+        ],
+    )
+
+
 def run(config: Config = Config()) -> Result:
     result = Result()
     for queue_kind in config.queue_kinds:
         for n_users in config.user_counts:
-            bench = build_dumbbell(
-                queue_kind, config.capacity_bps, rtt=config.rtt, seed=config.seed
-            )
-            users = spawn_web_users(
-                bench.bell,
-                n_users,
-                objects_per_user=config.objects_per_user,
-                size_bytes=config.object_bytes,
-                connections=config.connections,
-                start_window=config.warmup,
-            )
-            bench.sim.run(until=config.duration)
+            built = build_simulation(scenario_for(config, queue_kind, n_users))
+            built.run()
+            users = built.users
             # A user's session runs from its own start until it finished
             # its objects (or the end of the run) — idle time after the
             # last object completes is not a hang.

@@ -21,12 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
-from repro.core import TAQQueue
+from repro.build import (
+    MetricsSpec,
+    QueueSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_simulation,
+)
 from repro.experiments.runner import TableResult
-from repro.metrics import SliceGoodputCollector
-from repro.overlay import OverlayDumbbell
-from repro.sim.simulator import Simulator
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -83,26 +86,44 @@ class Result:
         return str(self.table())
 
 
+def mode_scenario(config: Config, mode: str) -> ScenarioSpec:
+    """The declarative description of one deployment-mode run."""
+    return ScenarioSpec(
+        name=f"overlay-{mode}",
+        seed=config.seed,
+        duration=config.duration,
+        topology=TopologySpec(
+            capacity_bps=config.capacity_bps,
+            kind="overlay",
+            rtt=config.rtt,
+            params=dict(mode=mode, underlay_loss=config.underlay_loss),
+        ),
+        queue=QueueSpec(kind="taq"),
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=config.n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            )
+        ],
+        metrics=MetricsSpec(slice_seconds=config.slice_seconds),
+    )
+
+
 def run(config: Config = Config()) -> Result:
     result = Result()
     for mode in config.modes:
-        sim = Simulator(seed=config.seed)
-        queue = TAQQueue.for_link(config.capacity_bps, rtt=config.rtt)
-        bell = OverlayDumbbell(
-            sim,
-            config.capacity_bps,
-            config.rtt,
-            queue=queue,
-            mode=mode,
-            underlay_loss=config.underlay_loss,
-        )
-        queue.install_reverse_tap(bell.reverse)
-        collector = SliceGoodputCollector(config.slice_seconds)
-        # Goodput measured where the receivers actually get data.
-        bell.underlay.add_delivery_tap(collector.observe)
-        flows = spawn_bulk_flows(bell, config.n_flows, start_window=5.0,
-                                 extra_rtt_max=0.1)
-        sim.run(until=config.duration)
+        # The harness taps goodput on the underlay — where the
+        # receivers actually get data — because OverlayDumbbell exposes
+        # it as the delivery link.
+        built = build_simulation(mode_scenario(config, mode))
+        built.run()
+        bell, collector, flows = built.topology, built.collector, built.flows
         flow_ids = [f.flow_id for f in flows]
         result.modes[mode] = ModeResult(
             mode=mode,

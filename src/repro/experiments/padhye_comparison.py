@@ -21,13 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.model import build_full_model, build_partial_model
 from repro.model.padhye import (
     padhye_throughput_pkts_per_rtt,
     stationary_throughput_pkts_per_epoch,
 )
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -86,28 +86,47 @@ class Result:
         return str(self.table())
 
 
+def scenario_for(config: Config, n_flows: int) -> ScenarioSpec:
+    """The declarative description of one contention point's run."""
+    return dumbbell_spec(
+        "droptail",
+        config.capacity_bps,
+        rtt=config.rtt,
+        seed=config.seed,
+        duration=config.duration,
+        name=f"padhye-{n_flows}flows",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                    sack=True,
+                    max_cwnd=float(config.wmax),
+                    min_rto=2.0 * config.rtt,
+                ),
+            )
+        ],
+    )
+
+
 def run(config: Config = Config()) -> Result:
     result = Result()
     for n_flows in config.flow_counts:
-        bench = build_dumbbell(
-            "droptail", config.capacity_bps, rtt=config.rtt, seed=config.seed
-        )
-        flows = spawn_bulk_flows(
-            bench.bell,
-            n_flows,
-            start_window=5.0,
-            extra_rtt_max=0.1,
-            sack=True,
-            max_cwnd=float(config.wmax),
-            min_rto=2.0 * config.rtt,
-        )
-        bench.sim.run(until=config.warmup)
+        # The warmup snapshot needs the sim mid-run, so this experiment
+        # drives the clock itself instead of calling ``built.run()``.
+        built = build_simulation(scenario_for(config, n_flows))
+        flows = built.flows
+        built.sim.run(until=config.warmup)
         sent_at_warmup = {
             f.flow_id: f.sender.stats.data_sent + f.sender.stats.retransmits
             for f in flows
         }
-        bench.sim.run(until=config.duration)
-        p = min(0.49, max(1e-4, bench.queue.loss_rate()))
+        built.sim.run(until=config.duration)
+        p = min(0.49, max(1e-4, built.queue.loss_rate()))
         window = config.duration - config.warmup
         # Measured: post-warmup transmissions per flow, per its own
         # smoothed RTT (packets per epoch, the models' unit).

@@ -19,13 +19,12 @@ per-user goodput) and the big:small user bandwidth ratio:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.metrics.fairness import jain_index
-from repro.tcp.flow import TcpFlow
 
 
 @dataclass
@@ -79,47 +78,51 @@ class Result:
         return str(self.table())
 
 
-def _run_setup(name: str, config: Config) -> SetupResult:
+def scenario_for(config: Config, name: str) -> ScenarioSpec:
+    """The declarative description of one pool-fairness setup."""
     kind = "droptail" if name == "droptail" else "taq"
-    extra = {}
+    queue_kwargs = {}
     if name == "taq-pool":
-        extra["fairness_granularity"] = "pool"
-    bench = build_dumbbell(
+        queue_kwargs["fairness_granularity"] = "pool"
+    pool_sizes = [config.big_pool] * config.n_users_per_class + [
+        config.small_pool
+    ] * config.n_users_per_class
+    return dumbbell_spec(
         kind,
         config.capacity_bps,
         rtt=config.rtt,
         seed=config.seed,
         slice_seconds=config.slice_seconds,
-        **extra,
-    )
-    rng = bench.sim.rng.stream("pool-fairness")
-    flow_ids = itertools.count(0)
-    users: List[List[TcpFlow]] = []
-    user_sizes = [config.big_pool] * config.n_users_per_class + [
-        config.small_pool
-    ] * config.n_users_per_class
-    for user_id, n_conns in enumerate(user_sizes):
-        flows = [
-            TcpFlow(
-                bench.bell,
-                next(flow_ids),
-                size_segments=None,
-                start_time=rng.uniform(0.0, 5.0),
-                extra_rtt=rng.uniform(0.0, 0.1),
-                pool_id=user_id,
+        duration=config.duration,
+        name=f"pool-{name}",
+        workloads=[
+            WorkloadSpec(
+                "flow-pools",
+                dict(
+                    pool_sizes=pool_sizes,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    rng_name="pool-fairness",
+                    first_flow_id=0,
+                ),
             )
-            for _ in range(n_conns)
-        ]
-        users.append(flows)
-    bench.sim.run(until=config.duration)
+        ],
+        **queue_kwargs,
+    )
 
-    indices = bench.collector.slice_indices()[1:-1]
+
+def _run_setup(name: str, config: Config) -> SetupResult:
+    built = build_simulation(scenario_for(config, name))
+    built.run()
+    users = built.groups[0].pools
+
+    indices = built.collector.slice_indices()[1:-1]
     per_user_bytes = []
     for flows in users:
         ids = [f.flow_id for f in flows]
         total = 0.0
         for index in indices:
-            total += sum(bench.collector.slice_goodputs(index, ids))
+            total += sum(built.collector.slice_goodputs(index, ids))
         per_user_bytes.append(total)
     all_ids = [f.flow_id for flows in users for f in flows]
     big = per_user_bytes[: config.n_users_per_class]
@@ -129,9 +132,9 @@ def _run_setup(name: str, config: Config) -> SetupResult:
     return SetupResult(
         setup=name,
         user_jain=jain_index(per_user_bytes),
-        flow_jain=bench.collector.mean_short_term_jain(all_ids),
+        flow_jain=built.collector.mean_short_term_jain(all_ids),
         big_to_small_ratio=mean_big / mean_small if mean_small > 0 else float("inf"),
-        utilization=bench.bell.forward.stats.utilization(
+        utilization=built.topology.forward.stats.utilization(
             config.capacity_bps, config.duration
         ),
     )

@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
-from repro.workloads import spawn_bulk_flows
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 
 
 @dataclass
@@ -78,43 +78,55 @@ class Result:
         return str(self.table())
 
 
-def _run_setup(name: str, config: Config) -> SetupResult:
+def scenario_for(config: Config, name: str) -> ScenarioSpec:
+    """The declarative description of one fairness-model setup."""
     kind = "droptail" if name == "droptail" else "taq"
-    extra = {}
+    queue_kwargs = {}
     if name == "taq-proportional":
-        extra["fairness_model"] = "proportional"
-    bench = build_dumbbell(
+        queue_kwargs["fairness_model"] = "proportional"
+
+    def flow_class(rng_name: str, first_flow_id: int, extra_rtt: float) -> WorkloadSpec:
+        return WorkloadSpec(
+            "bulk",
+            dict(
+                n_flows=config.n_flows_per_class,
+                start_window=5.0,
+                extra_rtt_max=1e-9,  # draws still happen; override pins the value
+                first_flow_id=first_flow_id,
+                rng_name=rng_name,
+                extra_rtt_override=extra_rtt,
+            ),
+        )
+
+    return dumbbell_spec(
         kind,
         config.capacity_bps,
         rtt=config.rtt,
         seed=config.seed,
         slice_seconds=config.slice_seconds,
-        **extra,
+        duration=config.duration,
+        name=f"rttf-{name}",
+        workloads=[
+            flow_class("rtt-short", 0, config.short_extra_rtt),
+            flow_class("rtt-long", config.n_flows_per_class, config.long_extra_rtt),
+        ],
+        **queue_kwargs,
     )
-    short = spawn_bulk_flows(
-        bench.bell, config.n_flows_per_class, start_window=5.0,
-        extra_rtt_max=1e-9,  # effectively uniform short RTT
-        rng_name="rtt-short",
-    )
-    for flow in short:
-        flow.extra_rtt = config.short_extra_rtt
-    long_flows = spawn_bulk_flows(
-        bench.bell, config.n_flows_per_class, start_window=5.0,
-        extra_rtt_max=1e-9,
-        first_flow_id=config.n_flows_per_class,
-        rng_name="rtt-long",
-    )
-    for flow in long_flows:
-        flow.extra_rtt = config.long_extra_rtt
-    bench.sim.run(until=config.duration)
 
-    indices = bench.collector.slice_indices()[1:-1]
+
+def _run_setup(name: str, config: Config) -> SetupResult:
+    built = build_simulation(scenario_for(config, name))
+    built.run()
+    short = built.groups[0].flows
+    long_flows = built.groups[1].flows
+
+    indices = built.collector.slice_indices()[1:-1]
 
     def mean_goodput(group) -> float:
         ids = [f.flow_id for f in group]
         total = 0.0
         for index in indices:
-            total += sum(bench.collector.slice_goodputs(index, ids))
+            total += sum(built.collector.slice_goodputs(index, ids))
         return total / max(1, len(ids))
 
     all_ids = [f.flow_id for f in short + long_flows]
@@ -122,9 +134,9 @@ def _run_setup(name: str, config: Config) -> SetupResult:
     long_mean = mean_goodput(long_flows)
     return SetupResult(
         setup=name,
-        short_term_jain=bench.collector.mean_short_term_jain(all_ids),
+        short_term_jain=built.collector.mean_short_term_jain(all_ids),
         short_to_long_ratio=short_mean / long_mean if long_mean > 0 else float("inf"),
-        utilization=bench.bell.forward.stats.utilization(
+        utilization=built.topology.forward.stats.utilization(
             config.capacity_bps, config.duration
         ),
     )

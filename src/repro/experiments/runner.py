@@ -1,9 +1,9 @@
 """Shared plumbing for the experiment modules.
 
-- :func:`make_queue` — build any of the five queue disciplines from a
-  short name ("droptail", "red", "sfq", "taq", "taq+ac");
-- :func:`build_dumbbell` — simulator + dumbbell + queue + goodput
-  collector in one call, with TAQ's reverse tap wired automatically;
+- :func:`make_queue` / :func:`build_dumbbell` — thin wrappers over the
+  :mod:`repro.build` registries and harness, kept for their widely-used
+  signatures (any *registered* queue kind works, not just the built-in
+  five);
 - :func:`instrument_point` / :func:`telemetry_payload` — opt-in
   :mod:`repro.obs` wiring shared by every sweep-point function;
 - :class:`TableResult` — a printable rows-and-headers result every
@@ -16,12 +16,28 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core import AdmissionController, TAQQueue
+from repro.build import (
+    MetricsSpec,
+    QueueSpec,
+    ScenarioSpec,
+    TopologySpec,
+    build_simulation,
+)
+from repro.build import build_queue as _build_queue
+from repro.build.registries import QUEUES, load_builtins
 from repro.metrics import SliceGoodputCollector
-from repro.net.topology import Dumbbell, rtt_buffer_pkts
-from repro.queues import DropTailQueue, QueueDiscipline, REDQueue, SFQQueue
+from repro.net.topology import Dumbbell
+from repro.queues import QueueDiscipline
 from repro.sim.simulator import Simulator
 
+
+def _queue_kinds() -> Tuple[str, ...]:
+    load_builtins()
+    return tuple(QUEUES.kinds())
+
+
+#: The disciplines shipped with the repository.  The registry is the
+#: source of truth — plugins can extend it beyond this tuple.
 QUEUE_KINDS = ("droptail", "red", "sfq", "taq", "taq+ac")
 
 
@@ -32,28 +48,18 @@ def make_queue(
     rtt: float,
     pkt_size: int = 500,
     buffer_rtts: float = 1.0,
-    **taq_kwargs,
+    **queue_kwargs,
 ) -> QueueDiscipline:
-    """Build a queue discipline by short name.
+    """Build a registered queue discipline by short name.
 
-    ``taq_kwargs`` are forwarded to :class:`TAQQueue` for the TAQ kinds
-    (e.g. ``classify_fair_share=False`` for ablations).
+    ``queue_kwargs`` are forwarded to the registered builder (for the
+    TAQ kinds that means :class:`~repro.core.TAQQueue`, e.g.
+    ``classify_fair_share=False`` for ablations).  Unknown kinds raise
+    a :class:`~repro.build.SpecError` listing what is registered.
     """
-    buffer_pkts = rtt_buffer_pkts(capacity_bps, rtt, pkt_size, buffer_rtts)
-    if kind == "droptail":
-        return DropTailQueue(buffer_pkts)
-    if kind == "red":
-        return REDQueue(buffer_pkts, sim.rng.stream("red"), mean_pkt_size=pkt_size)
-    if kind == "sfq":
-        return SFQQueue(buffer_pkts, buckets=max(16, buffer_pkts), perturb_interval=10.0)
-    if kind == "taq":
-        taq_kwargs.setdefault("default_epoch", rtt)
-        return TAQQueue(buffer_pkts, **taq_kwargs)
-    if kind == "taq+ac":
-        taq_kwargs.setdefault("default_epoch", rtt)
-        taq_kwargs.setdefault("admission", AdmissionController())
-        return TAQQueue(buffer_pkts, **taq_kwargs)
-    raise ValueError(f"unknown queue kind {kind!r}; choose from {QUEUE_KINDS}")
+    return _build_queue(
+        kind, sim, capacity_bps, rtt, pkt_size, buffer_rtts, **queue_kwargs
+    )
 
 
 @dataclass
@@ -66,6 +72,37 @@ class Bench:
     collector: SliceGoodputCollector
 
 
+def dumbbell_spec(
+    kind: str,
+    capacity_bps: float,
+    rtt: float = 0.2,
+    pkt_size: int = 500,
+    seed: int = 1,
+    slice_seconds: float = 20.0,
+    buffer_rtts: float = 1.0,
+    reverse_tap: bool = True,
+    duration: float = 0.0,
+    name: str = "dumbbell-bench",
+    workloads: Sequence = (),
+    **queue_kwargs,
+) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` equivalent of :func:`build_dumbbell`."""
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        duration=duration,
+        topology=TopologySpec(capacity_bps=capacity_bps, rtt=rtt, pkt_size=pkt_size),
+        queue=QueueSpec(
+            kind=kind,
+            buffer_rtts=buffer_rtts,
+            reverse_tap=reverse_tap,
+            params=dict(queue_kwargs),
+        ),
+        workloads=list(workloads),
+        metrics=MetricsSpec(slice_seconds=slice_seconds),
+    )
+
+
 def build_dumbbell(
     kind: str,
     capacity_bps: float,
@@ -75,23 +112,30 @@ def build_dumbbell(
     slice_seconds: float = 20.0,
     buffer_rtts: float = 1.0,
     reverse_tap: bool = True,
-    **taq_kwargs,
+    **queue_kwargs,
 ) -> Bench:
     """Simulator + dumbbell + queue + slice collector, fully wired.
 
     ``reverse_tap=False`` leaves TAQ in one-way mode (§3.3): epochs are
     estimated from SYN-to-first-data gaps and burst spacing only.
     """
-    sim = Simulator(seed=seed)
-    queue = make_queue(
-        kind, sim, capacity_bps, rtt, pkt_size, buffer_rtts, **taq_kwargs
+    built = build_simulation(
+        dumbbell_spec(
+            kind,
+            capacity_bps,
+            rtt=rtt,
+            pkt_size=pkt_size,
+            seed=seed,
+            slice_seconds=slice_seconds,
+            buffer_rtts=buffer_rtts,
+            reverse_tap=reverse_tap,
+            **queue_kwargs,
+        )
     )
-    bell = Dumbbell(sim, capacity_bps, rtt, queue=queue, pkt_size=pkt_size)
-    if isinstance(queue, TAQQueue) and reverse_tap:
-        queue.install_reverse_tap(bell.reverse)
-    collector = SliceGoodputCollector(slice_seconds)
-    bell.forward.add_delivery_tap(collector.observe)
-    return Bench(sim=sim, bell=bell, queue=queue, collector=collector)
+    return Bench(
+        sim=built.sim, bell=built.topology, queue=built.queue,
+        collector=built.collector,
+    )
 
 
 def instrument_point(
@@ -135,6 +179,7 @@ def telemetry_payload(
     seed: int,
     topology: Optional[Dict[str, Any]] = None,
     qdisc: Optional[Dict[str, Any]] = None,
+    scenario: Optional[Dict[str, Any]] = None,
     duration: float = 0.0,
 ) -> Dict[str, Any]:
     """Finalize *telemetry* and return the picklable per-point payload
@@ -146,6 +191,7 @@ def telemetry_payload(
         seed=seed,
         topology=topology,
         qdisc=qdisc,
+        scenario=scenario,
         duration=duration,
     )
     return {

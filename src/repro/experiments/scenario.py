@@ -1,11 +1,14 @@
-"""Declarative scenario runner.
+"""Declarative scenario runner — a thin wrapper over :mod:`repro.build`.
 
 Experiments in this repository are Python modules, but exploring the
 parameter space should not require writing code: a *scenario* is a JSON
 document naming a topology, a queue discipline, workloads and a
-duration, and :func:`run_scenario` turns it into the standard metric
-set.  ``taq-experiments scenario path.json`` runs one from the shell;
-``examples/scenarios/`` ships ready-made documents.
+duration.  :class:`repro.build.ScenarioSpec` validates the document
+(strictly: unknown keys and kinds are rejected with did-you-mean
+suggestions), :func:`repro.build.build_simulation` constructs the run,
+and :func:`run_scenario` reduces it to the standard metric set.
+``taq-experiments scenario path.json ...`` runs documents from the
+shell; ``examples/scenarios/`` ships ready-made ones per figure.
 
 Schema (all sizes in base units: bps, seconds, bytes)::
 
@@ -16,37 +19,47 @@ Schema (all sizes in base units: bps, seconds, bytes)::
       "topology": {"type": "dumbbell" | "testbed" | "overlay",
                    "capacity_bps": 600000, "rtt": 0.2,
                    ... type-specific extras (e.g. "underlay_loss") ...},
-      "queue": {"kind": "droptail" | "red" | "sfq" | "taq" | "taq+ac",
-                "buffer_rtts": 1.0, ... TAQ kwargs ...},
+      "queue": {"kind": "droptail" | "red" | "sfq" | "taq" | "taq+ac"
+                        | "favorqueue" | any registered kind,
+                "buffer_rtts": 1.0, ... kind-specific knobs ...},
       "workloads": [
         {"type": "bulk", "n_flows": 100, "size_segments": null,
          "variant": "newreno"},
         {"type": "web", "n_users": 20, "objects_per_user": 10,
          "object_bytes": 20000, "connections": 4},
-        {"type": "short", "lengths": [2, 10, 40], "start_time": 20.0}
+        {"type": "short", "lengths": [2, 10, 40], "start_time": 20.0},
+        ... or "trace" / "web-bands" / "flow-pools" / "tfrc" ...
       ],
-      "metrics": {"slice_seconds": 20.0}
+      "metrics": {"slice_seconds": 20.0},
+      "plugins": ["my.out_of_tree.module"]
     }
+
+The registries are open: a ``"plugins"`` list of importable modules
+brings out-of-tree disciplines/topologies/workloads into scope, so new
+kinds run from JSON without editing this repository.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
-from repro.core import TAQQueue
-from repro.experiments.runner import TableResult, make_queue
-from repro.metrics import SliceGoodputCollector
-from repro.net.topology import Dumbbell
-from repro.sim.simulator import Simulator
-from repro.workloads import spawn_bulk_flows, spawn_short_flows, spawn_web_users
+from repro.build import ScenarioSpec, SpecError, build_simulation
+from repro.build.registries import TOPOLOGIES, load_builtins
+from repro.experiments.runner import TableResult
 
-TOPOLOGY_TYPES = ("dumbbell", "testbed", "overlay")
+#: Historic alias — ``except ScenarioError`` keeps working.
+ScenarioError = SpecError
 
 
-class ScenarioError(ValueError):
-    """A malformed scenario document."""
+def _topology_types() -> tuple:
+    load_builtins()
+    return tuple(TOPOLOGIES.kinds())
+
+
+#: Kept for callers that introspect the supported topologies; the
+#: registry is the source of truth (plugins may extend it).
+TOPOLOGY_TYPES = ("dumbbell", "overlay", "testbed")
 
 
 @dataclass
@@ -85,133 +98,34 @@ class ScenarioOutcome:
         return str(self.table())
 
 
-def _require(document: Dict[str, Any], key: str, context: str):
-    try:
-        return document[key]
-    except (KeyError, TypeError):
-        raise ScenarioError(f"missing {key!r} in {context}")
-
-
-def _build_topology(sim: Simulator, spec: Dict[str, Any], queue) -> Any:
-    kind = spec.get("type", "dumbbell")
-    capacity = _require(spec, "capacity_bps", "topology")
-    rtt = spec.get("rtt", 0.2)
-    if kind == "dumbbell":
-        return Dumbbell(sim, capacity, rtt, queue=queue,
-                        pkt_size=spec.get("pkt_size", 500))
-    if kind == "testbed":
-        from repro.testbed import TestbedDumbbell
-
-        return TestbedDumbbell(sim, capacity, rtt, queue=queue,
-                               pkt_size=spec.get("pkt_size", 500))
-    if kind == "overlay":
-        from repro.overlay import OverlayDumbbell
-
-        return OverlayDumbbell(
-            sim, capacity, rtt, queue=queue,
-            mode=spec.get("mode", "overlay"),
-            underlay_loss=spec.get("underlay_loss", 0.1),
-        )
-    raise ScenarioError(f"unknown topology type {kind!r}; choose from {TOPOLOGY_TYPES}")
-
-
-def run_scenario(document: Dict[str, Any]) -> ScenarioOutcome:
-    """Execute a scenario document and return its metrics."""
-    name = document.get("name", "unnamed")
-    seed = document.get("seed", 1)
-    duration = float(_require(document, "duration", "scenario"))
-    topology_spec = _require(document, "topology", "scenario")
-    queue_spec = document.get("queue", {"kind": "droptail"})
-    workloads = _require(document, "workloads", "scenario")
-    if not isinstance(workloads, list) or not workloads:
-        raise ScenarioError("workloads must be a non-empty list")
-    metrics_spec = document.get("metrics", {})
-
-    sim = Simulator(seed=seed)
-    queue_kwargs = dict(queue_spec)
-    queue_kind = queue_kwargs.pop("kind", "droptail")
-    buffer_rtts = queue_kwargs.pop("buffer_rtts", 1.0)
-    queue = make_queue(
-        queue_kind,
-        sim,
-        topology_spec.get("capacity_bps", 0),
-        topology_spec.get("rtt", 0.2),
-        topology_spec.get("pkt_size", 500),
-        buffer_rtts,
-        **queue_kwargs,
+def run_scenario(document: Union[Dict[str, Any], ScenarioSpec]) -> ScenarioOutcome:
+    """Execute a scenario document (or a pre-built spec) and return its
+    metrics."""
+    spec = (
+        document
+        if isinstance(document, ScenarioSpec)
+        else ScenarioSpec.from_document(document)
     )
-    bell = _build_topology(sim, topology_spec, queue)
-    if isinstance(queue, TAQQueue) and hasattr(bell, "reverse"):
-        queue.install_reverse_tap(bell.reverse)
-    collector = SliceGoodputCollector(metrics_spec.get("slice_seconds", 20.0))
-    delivery_link = bell.underlay if hasattr(bell, "underlay") else bell.forward
-    delivery_link.add_delivery_tap(collector.observe)
+    built = build_simulation(spec)
+    built.run()
 
-    flows = []
-    users = []
-    for index, workload in enumerate(workloads):
-        wtype = workload.get("type")
-        if wtype == "bulk":
-            flows.extend(
-                spawn_bulk_flows(
-                    bell,
-                    _require(workload, "n_flows", f"workloads[{index}]"),
-                    start_window=workload.get("start_window", 5.0),
-                    extra_rtt_max=workload.get("extra_rtt_max", 0.1),
-                    size_segments=workload.get("size_segments"),
-                    variant=workload.get("variant"),
-                    initial_cwnd=workload.get("initial_cwnd", 2.0),
-                    first_flow_id=len(flows),
-                    rng_name=f"bulk-{index}",
-                )
-            )
-        elif wtype == "web":
-            users.extend(
-                spawn_web_users(
-                    bell,
-                    _require(workload, "n_users", f"workloads[{index}]"),
-                    objects_per_user=_require(
-                        workload, "objects_per_user", f"workloads[{index}]"
-                    ),
-                    size_bytes=workload.get("object_bytes", 20_000),
-                    connections=workload.get("connections", 4),
-                    start_window=workload.get("start_window", 10.0),
-                    first_flow_id=10_000 + 1_000 * index,
-                    rng_name=f"web-{index}",
-                )
-            )
-        elif wtype == "short":
-            flows.extend(
-                spawn_short_flows(
-                    bell,
-                    _require(workload, "lengths", f"workloads[{index}]"),
-                    start_time=workload.get("start_time", 10.0),
-                    spacing=workload.get("spacing", 1.0),
-                    first_flow_id=50_000 + 1_000 * index,
-                )
-            )
-        else:
-            raise ScenarioError(
-                f"unknown workload type {wtype!r} in workloads[{index}]"
-            )
-    sim.run(until=duration)
-
-    all_flows = flows + [f for user in users for f in user.flows]
+    all_flows = built.all_flows()
     flow_ids = [f.flow_id for f in all_flows]
     sized = [f for f in all_flows if f.size_segments is not None]
     outcome = ScenarioOutcome(
-        name=name,
-        duration=duration,
-        short_term_jain=collector.mean_short_term_jain(flow_ids),
-        long_term_jain=collector.long_term_jain(flow_ids),
-        utilization=bell.forward.stats.utilization(
-            topology_spec["capacity_bps"], duration
+        name=spec.name,
+        duration=spec.duration,
+        short_term_jain=built.collector.mean_short_term_jain(flow_ids),
+        long_term_jain=built.collector.long_term_jain(flow_ids),
+        utilization=built.topology.forward.stats.utilization(
+            spec.topology.capacity_bps, spec.duration
         ),
-        loss_rate=queue.loss_rate(),
+        loss_rate=built.queue.loss_rate(),
         timeouts=sum(f.sender.stats.timeouts for f in all_flows),
         completed_transfers=sum(1 for f in sized if f.done),
         total_transfers=len(sized),
     )
+    users = built.users
     if users:
         samples = [s.duration for user in users for s in user.samples]
         if samples:
@@ -219,16 +133,11 @@ def run_scenario(document: Dict[str, Any]) -> ScenarioOutcome:
             outcome.extras["web_objects_completed"] = len(samples)
             outcome.extras["web_median_download_s"] = ordered[len(ordered) // 2]
             outcome.extras["web_worst_download_s"] = ordered[-1]
-    if hasattr(queue, "admission_refusals"):
-        outcome.extras["admission_refusals"] = queue.admission_refusals
+    if hasattr(built.queue, "admission_refusals"):
+        outcome.extras["admission_refusals"] = built.queue.admission_refusals
     return outcome
 
 
 def run_scenario_file(path: str) -> ScenarioOutcome:
     """Load a JSON scenario document from *path* and run it."""
-    with open(path, "r", encoding="utf-8") as handle:
-        try:
-            document = json.load(handle)
-        except json.JSONDecodeError as exc:
-            raise ScenarioError(f"invalid JSON in {path}: {exc}") from exc
-    return run_scenario(document)
+    return run_scenario(ScenarioSpec.from_file(path))

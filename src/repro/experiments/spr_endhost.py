@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
-from repro.workloads import spawn_bulk_flows
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 
 
 @dataclass
@@ -81,37 +81,63 @@ class Result:
         return str(self.table())
 
 
-def _run_scenario(name: str, config: Config) -> ScenarioResult:
+def _bulk(n_flows: int, variant: str, **overrides) -> WorkloadSpec:
+    params = dict(
+        n_flows=n_flows,
+        start_window=5.0,
+        extra_rtt_max=0.1,
+        first_flow_id=0,
+        rng_name="bulk-starts",
+        variant=variant,
+    )
+    params.update(overrides)
+    return WorkloadSpec("bulk", params)
+
+
+def scenario_for(config: Config, name: str) -> ScenarioSpec:
+    """The declarative description of one deployment scenario."""
     queue_kind = "taq" if name == "taq-reference" else "droptail"
-    bench = build_dumbbell(
+    half = config.n_flows // 2
+    if name == "all-spr":
+        workloads = [_bulk(config.n_flows, "spr")]
+    elif name == "mixed":
+        workloads = [
+            _bulk(half, "spr"),
+            _bulk(
+                config.n_flows - half,
+                "newreno",
+                first_flow_id=half,
+                rng_name="bulk-starts-legacy",
+            ),
+        ]
+    else:
+        workloads = [_bulk(config.n_flows, "newreno")]
+    return dumbbell_spec(
         queue_kind,
         config.capacity_bps,
         rtt=config.rtt,
         seed=config.seed,
         slice_seconds=config.slice_seconds,
+        duration=config.duration,
+        name=f"spr-{name}",
+        workloads=workloads,
     )
-    half = config.n_flows // 2
+
+
+def _run_scenario(name: str, config: Config) -> ScenarioResult:
+    built = build_simulation(scenario_for(config, name))
+    built.run()
+    flows = built.flows
     if name == "all-spr":
-        flows = spawn_bulk_flows(bench.bell, config.n_flows, start_window=5.0,
-                                 extra_rtt_max=0.1, variant="spr")
         spr_flows, legacy_flows = flows, []
     elif name == "mixed":
-        spr_flows = spawn_bulk_flows(bench.bell, half, start_window=5.0,
-                                     extra_rtt_max=0.1, variant="spr")
-        legacy_flows = spawn_bulk_flows(
-            bench.bell, config.n_flows - half, start_window=5.0,
-            extra_rtt_max=0.1, variant="newreno", first_flow_id=half,
-            rng_name="bulk-starts-legacy",
-        )
-        flows = spr_flows + legacy_flows
+        spr_flows = built.groups[0].flows
+        legacy_flows = built.groups[1].flows
     else:
-        flows = spawn_bulk_flows(bench.bell, config.n_flows, start_window=5.0,
-                                 extra_rtt_max=0.1, variant="newreno")
         spr_flows, legacy_flows = [], flows
-    bench.sim.run(until=config.duration)
 
     flow_ids = [f.flow_id for f in flows]
-    indices = bench.collector.slice_indices()
+    indices = built.collector.slice_indices()
     steady = indices[len(indices) // 2] if indices else 0
 
     spr_advantage = 1.0
@@ -120,7 +146,7 @@ def _run_scenario(name: str, config: Config) -> ScenarioResult:
             total = 0.0
             count = 0
             for index in indices[1:-1] or indices:
-                goodputs = bench.collector.slice_goodputs(
+                goodputs = built.collector.slice_goodputs(
                     index, [f.flow_id for f in group]
                 )
                 total += sum(goodputs)
@@ -134,10 +160,10 @@ def _run_scenario(name: str, config: Config) -> ScenarioResult:
 
     return ScenarioResult(
         scenario=name,
-        short_term_jain=bench.collector.mean_short_term_jain(flow_ids),
-        shut_out_fraction=bench.collector.shut_out_fraction(steady, flow_ids),
-        loss_rate=bench.queue.loss_rate(),
-        utilization=bench.bell.forward.stats.utilization(
+        short_term_jain=built.collector.mean_short_term_jain(flow_ids),
+        shut_out_fraction=built.collector.shut_out_fraction(steady, flow_ids),
+        loss_rate=built.queue.loss_rate(),
+        utilization=built.topology.forward.stats.utilization(
             config.capacity_bps, config.duration
         ),
         goodput_efficiency=goodput_efficiency(flows),

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
 from repro.experiments.runner import (
     Bench,
-    build_dumbbell,
+    dumbbell_spec,
     instrument_point,
     telemetry_payload,
 )
@@ -46,6 +47,47 @@ def flows_for_fair_share(capacity_bps: float, fair_share_bps: float) -> int:
     return max(2, round(capacity_bps / fair_share_bps))
 
 
+def sweep_point_scenario(
+    kind: str,
+    capacity_bps: float,
+    fair_share_bps: float,
+    duration: float = 120.0,
+    rtt: float = 0.2,
+    slice_seconds: float = 20.0,
+    seed: int = 1,
+    **queue_kwargs,
+) -> ScenarioSpec:
+    """The declarative description of one sweep point.
+
+    :func:`run_sweep_point` builds exactly this spec, and
+    :func:`sweep_specs` attaches its canonical form to each
+    :class:`~repro.parallel.PointSpec` for provenance.
+    """
+    n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
+    return dumbbell_spec(
+        kind,
+        capacity_bps,
+        rtt=rtt,
+        seed=seed,
+        slice_seconds=slice_seconds,
+        duration=duration,
+        name=f"sweep-{kind}-{int(capacity_bps)}bps-share{int(fair_share_bps)}",
+        workloads=[
+            WorkloadSpec(
+                "bulk",
+                dict(
+                    n_flows=n_flows,
+                    start_window=5.0,
+                    extra_rtt_max=0.1,
+                    first_flow_id=0,
+                    rng_name="bulk-starts",
+                ),
+            )
+        ],
+        **queue_kwargs,
+    )
+
+
 def run_sweep_point(
     kind: str,
     capacity_bps: float,
@@ -67,16 +109,29 @@ def run_sweep_point(
     returned point carries the manifest and deterministic summary.
     """
     n_flows = flows_for_fair_share(capacity_bps, fair_share_bps)
+    scenario = sweep_point_scenario(
+        kind,
+        capacity_bps,
+        fair_share_bps,
+        duration=duration,
+        rtt=rtt,
+        slice_seconds=slice_seconds,
+        seed=seed,
+        **queue_kwargs,
+    )
     if bench is None:
-        bench = build_dumbbell(
-            kind,
-            capacity_bps,
-            rtt=rtt,
-            seed=seed,
-            slice_seconds=slice_seconds,
-            **queue_kwargs,
+        built = build_simulation(scenario)
+        bench = Bench(
+            sim=built.sim, bell=built.topology, queue=built.queue,
+            collector=built.collector,
         )
-    flows = spawn_bulk_flows(bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1)
+        flows = built.flows
+    else:
+        # Caller supplied a pre-wired bench (custom queue object, ...):
+        # only the workload comes from the scenario description.
+        flows = spawn_bulk_flows(
+            bench.bell, n_flows, start_window=5.0, extra_rtt_max=0.1
+        )
     telemetry = None
     run_id = f"{kind}-{int(capacity_bps)}bps-share{int(fair_share_bps)}-seed{seed}"
     if telemetry_dir is not None:
@@ -105,6 +160,7 @@ def run_sweep_point(
                 slice_seconds=slice_seconds,
             ),
             qdisc=dict(kind=kind, **queue_kwargs),
+            scenario=scenario.canonical(),
             duration=duration,
         )
     flow_ids = [f.flow_id for f in flows]
@@ -154,6 +210,9 @@ def sweep_specs(
                 **kwargs,
             ),
             label=f"{kind} {capacity / 1000:g}Kbps share={fair_share:g}bps",
+            scenario=sweep_point_scenario(
+                kind, capacity, fair_share, **kwargs
+            ).canonical(),
         )
         for capacity in capacities_bps
         for fair_share in fair_shares_bps

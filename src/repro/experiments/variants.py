@@ -14,10 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.experiments.runner import TableResult, build_dumbbell
+from repro.build import ScenarioSpec, WorkloadSpec, build_simulation
+from repro.experiments.runner import TableResult, dumbbell_spec
 from repro.parallel import ParallelRunner, PointSpec
-from repro.tcp.tfrc import TfrcFlow
-from repro.workloads import spawn_bulk_flows
 
 
 @dataclass
@@ -77,46 +76,58 @@ class Result:
         return str(self.table())
 
 
-def _run_point(transport: str, queue_kind: str, config: Config) -> VariantPoint:
-    bench = build_dumbbell(
+def scenario_for(transport: str, queue_kind: str, config: Config) -> ScenarioSpec:
+    """The declarative description of one (transport, queue) matrix cell."""
+    if transport == "tfrc":
+        workload = WorkloadSpec(
+            "tfrc",
+            dict(
+                n_flows=config.n_flows,
+                start_window=5.0,
+                extra_rtt_max=0.1,
+                rng_name="tfrc-starts",
+                first_flow_id=0,
+            ),
+        )
+    else:
+        workload = WorkloadSpec(
+            "bulk",
+            dict(
+                n_flows=config.n_flows,
+                start_window=5.0,
+                extra_rtt_max=0.1,
+                first_flow_id=0,
+                rng_name="bulk-starts",
+                variant=transport,
+                initial_cwnd=None,  # let the variant pick (CUBIC: IW10)
+            ),
+        )
+    return dumbbell_spec(
         queue_kind,
         config.capacity_bps,
         rtt=config.rtt,
         seed=config.seed,
         slice_seconds=config.slice_seconds,
+        duration=config.duration,
+        name=f"variants-{transport}-{queue_kind}",
+        workloads=[workload],
     )
+
+
+def _run_point(transport: str, queue_kind: str, config: Config) -> VariantPoint:
+    built = build_simulation(scenario_for(transport, queue_kind, config))
+    built.run()
+    flows = built.flows
     if transport == "tfrc":
-        rng = bench.sim.rng.stream("tfrc-starts")
-        flows = [
-            TfrcFlow(
-                bench.bell,
-                i,
-                size_segments=None,
-                start_time=rng.uniform(0.0, 5.0),
-                extra_rtt=rng.uniform(0.0, 0.1),
-            )
-            for i in range(config.n_flows)
-        ]
         timeouts = -1  # TFRC has no retransmission timeouts
     else:
-        flows = spawn_bulk_flows(
-            bench.bell,
-            config.n_flows,
-            start_window=5.0,
-            extra_rtt_max=0.1,
-            variant=transport,
-            initial_cwnd=None,  # let the variant pick (CUBIC: IW10)
-        )
-        timeouts = None
-    bench.sim.run(until=config.duration)
-    if timeouts is None:
         timeouts = sum(f.sender.stats.timeouts for f in flows)
     flow_ids = [f.flow_id for f in flows]
     return VariantPoint(
         transport=transport,
         queue_kind=queue_kind,
-        short_term_jain=bench.collector.mean_short_term_jain(flow_ids),
-        utilization=bench.bell.forward.stats.utilization(
+        short_term_jain=built.collector.mean_short_term_jain(flow_ids),
+        utilization=built.topology.forward.stats.utilization(
             config.capacity_bps, config.duration
         ),
         timeouts=timeouts,
@@ -159,6 +170,7 @@ def _point_spec(transport: str, queue_kind: str, config: Config) -> PointSpec:
             seed=config.seed,
         ),
         label=f"{transport}/{queue_kind}",
+        scenario=scenario_for(transport, queue_kind, config).canonical(),
     )
 
 

@@ -20,7 +20,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 #: Bump when manifest fields change incompatibly.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: added ``scenario`` (full canonical ScenarioSpec document).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -33,6 +34,9 @@ class RunManifest:
     topology: Dict[str, Any] = field(default_factory=dict)
     #: Queue discipline: at least {"kind": ...}; knobs alongside.
     qdisc: Dict[str, Any] = field(default_factory=dict)
+    #: Full canonical scenario document (``ScenarioSpec.canonical()``)
+    #: when the run was built declaratively; empty for ad-hoc runs.
+    scenario: Dict[str, Any] = field(default_factory=dict)
     #: Sim-clock duration of the run, seconds.
     duration: float = 0.0
     #: Wall-clock seconds the run took (not deterministic!).
@@ -67,6 +71,7 @@ def build_manifest(
     *,
     topology: Optional[Dict[str, Any]] = None,
     qdisc: Optional[Dict[str, Any]] = None,
+    scenario: Optional[Dict[str, Any]] = None,
     duration: float = 0.0,
     wall_time_s: float = 0.0,
     event_count: int = 0,
@@ -81,6 +86,7 @@ def build_manifest(
         seed=seed,
         topology=dict(topology or {}),
         qdisc=dict(qdisc or {}),
+        scenario=dict(scenario or {}),
         duration=duration,
         wall_time_s=wall_time_s,
         event_count=event_count,

@@ -279,8 +279,8 @@ def _parse_metrics_lines(lines) -> Dict[str, Any]:
         if not line:
             continue
         record = json.loads(line)
-        kind = record.get("type")
-        if kind == "meta":
+        record_type = record.get("type")
+        if record_type == "meta":
             version = record.get("version")
             if record.get("schema") != "repro.obs.metrics":
                 raise ValueError(f"not a metrics file: {record!r}")
@@ -289,12 +289,12 @@ def _parse_metrics_lines(lines) -> Dict[str, Any]:
                     f"metrics schema v{version} is newer than supported "
                     f"v{METRICS_SCHEMA_VERSION}"
                 )
-        elif kind == "counter":
+        elif record_type == "counter":
             out["counters"][record["name"]] = record["value"]
-        elif kind == "histogram":
+        elif record_type == "histogram":
             name = record.pop("name")
             record.pop("type")
             out["histograms"][name] = record
-        elif kind == "series":
+        elif record_type == "series":
             out["series"][record["name"]] = [(t, v) for t, v in record["samples"]]
     return out

@@ -110,6 +110,7 @@ class Telemetry:
         seed: int = 0,
         topology: Optional[Dict[str, Any]] = None,
         qdisc: Optional[Dict[str, Any]] = None,
+        scenario: Optional[Dict[str, Any]] = None,
         duration: float = 0.0,
     ) -> RunManifest:
         """Import final counters, build the manifest, write the bundle.
@@ -131,6 +132,7 @@ class Telemetry:
             seed,
             topology=topology,
             qdisc=qdisc,
+            scenario=scenario,
             duration=duration,
             wall_time_s=_time.perf_counter() - self._wall_start,
             event_count=sim.processed if sim is not None else 0,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 
 @dataclass
@@ -30,11 +30,18 @@ class PointSpec:
         (queue kind, capacity, fair share, seed, duration, ...).
     label:
         Optional human-readable tag used by progress reporting.
+    scenario:
+        Optional canonical :class:`repro.build.ScenarioSpec` document
+        (``spec.canonical()``) describing the run this point performs.
+        Pure provenance: it rides along to manifests and reports but is
+        excluded from the cache key (like ``label``), so attaching it
+        never invalidates previously cached results.
     """
 
     fn: str
     kwargs: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    scenario: Optional[Dict[str, Any]] = None
 
     def resolve(self) -> Callable[..., Any]:
         """Import and return the target callable."""

@@ -1,0 +1,94 @@
+"""Registry behaviour: registration, duplicates, unknown-kind errors."""
+
+import pytest
+
+from repro.build import (
+    QUEUES,
+    DuplicateKindError,
+    Registry,
+    SpecError,
+    UnknownKindError,
+)
+
+
+def test_register_and_create():
+    registry = Registry("widget")
+
+    @registry.register("box")
+    def build_box(ctx, size=1):
+        return ("box", ctx, size)
+
+    assert "box" in registry
+    assert registry.kinds() == ["box"]
+    assert registry.create("box", "ctx", size=3) == ("box", "ctx", 3)
+
+
+def test_duplicate_registration_is_an_error():
+    registry = Registry("widget")
+
+    @registry.register("box")
+    def build_box(ctx):
+        return None
+
+    with pytest.raises(DuplicateKindError, match="'box' is already registered"):
+
+        @registry.register("box")
+        def build_box_again(ctx):
+            return None
+
+    # The original builder survives the failed re-registration.
+    assert registry.get("box") is build_box
+
+
+def test_unknown_kind_lists_registered_kinds_and_suggests():
+    registry = Registry("widget")
+
+    @registry.register("droptail")
+    def build(ctx):
+        return None
+
+    with pytest.raises(UnknownKindError) as excinfo:
+        registry.get("droptale")
+    message = str(excinfo.value)
+    assert "unknown widget kind 'droptale'" in message
+    assert "did you mean 'droptail'?" in message
+    assert "registered kinds: droptail" in message
+
+
+def test_unknown_kind_is_catchable_as_spec_error():
+    registry = Registry("widget")
+    with pytest.raises(SpecError):
+        registry.get("anything")
+
+
+def test_unregister_round_trip():
+    registry = Registry("widget")
+
+    @registry.register("tmp")
+    def build(ctx):
+        return None
+
+    registry.unregister("tmp")
+    assert "tmp" not in registry
+    with pytest.raises(UnknownKindError):
+        registry.unregister("tmp")
+
+
+def test_accepted_params_enumerates_keywords():
+    registry = Registry("widget")
+
+    @registry.register("closed")
+    def build_closed(ctx, alpha, beta=2):
+        return None
+
+    @registry.register("open")
+    def build_open(ctx, gamma=1, **rest):
+        return None
+
+    assert registry.accepted_params("closed") == (["alpha", "beta"], False)
+    assert registry.accepted_params("open") == (["gamma"], True)
+
+
+def test_builtin_queue_kinds_present():
+    for kind in ("droptail", "red", "sfq", "taq", "taq+ac", "favorqueue"):
+        assert kind in QUEUES

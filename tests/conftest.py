@@ -1,0 +1,32 @@
+"""Shared pytest wiring: the ``slow`` marker and its ``--run-slow`` gate.
+
+Golden-equivalence tests re-run whole experiments; the slow ones add
+minutes of wall time, so the default run skips them and CI's
+golden-equivalence job (or a local ``--run-slow``) opts in.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (full golden-equivalence set)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: takes minutes; skipped unless --run-slow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip = pytest.mark.skip(reason="slow; use --run-slow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -118,9 +118,16 @@ def test_shipped_example_scenarios_parse_and_run_small():
         for workload in document["workloads"]:
             if "n_flows" in workload:
                 workload["n_flows"] = min(10, workload["n_flows"])
+            if "n_clients" in workload:
+                workload["n_clients"] = min(8, workload["n_clients"])
             if "n_users" in workload:
                 workload["n_users"] = min(4, workload["n_users"])
-                workload["start_window"] = 2.0
+                # web-bands spreads arrivals over arrival_window;
+                # plain web sessions use start_window.
+                if workload["type"] == "web-bands":
+                    workload["arrival_window"] = 2.0
+                else:
+                    workload["start_window"] = 2.0
         outcome = run_scenario(document)
         assert outcome.duration == 15
 
