@@ -1,0 +1,43 @@
+"""Correctness layer: runtime invariant monitors, differential oracles,
+and the deterministic scenario fuzzer.
+
+Public surface:
+
+- :func:`repro.check.suite.attach_monitors` /
+  :func:`repro.check.suite.run_checked` — arm a built scenario with the
+  monitor set.
+- :mod:`repro.check.differential` — metamorphic cross-discipline and
+  cross-``--jobs`` oracles.
+- :mod:`repro.check.fuzz` — the seeded ScenarioSpec fuzzer and shrinker
+  behind ``taq-check fuzz``.
+
+Everything here observes; nothing here schedules events or draws from
+the simulation's random streams, so armed and unarmed runs execute the
+identical event sequence.
+"""
+
+from repro.check.monitors import (
+    ClockMonitor,
+    InvariantViolation,
+    LinkConservationMonitor,
+    Monitor,
+    QueueOccupancyMonitor,
+    TaqAccountingMonitor,
+    TcpLegalityMonitor,
+    Violation,
+)
+from repro.check.suite import MonitorSuite, attach_monitors, run_checked
+
+__all__ = [
+    "ClockMonitor",
+    "InvariantViolation",
+    "LinkConservationMonitor",
+    "Monitor",
+    "MonitorSuite",
+    "QueueOccupancyMonitor",
+    "TaqAccountingMonitor",
+    "TcpLegalityMonitor",
+    "Violation",
+    "attach_monitors",
+    "run_checked",
+]

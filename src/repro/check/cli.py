@@ -1,0 +1,158 @@
+"""``taq-check`` — run the correctness layer from the shell.
+
+Subcommands::
+
+    taq-check fuzz --seed 1 --count 25 [--out DIR]
+        Deterministic fuzz campaign: sample N random-but-valid
+        scenarios, run each with every monitor armed, shrink any
+        violator to a minimal JSON repro under DIR.
+
+    taq-check run scenario.json [--mode raise|collect]
+        Build + run one scenario document with monitors armed; exit
+        non-zero (printing the violations) if any invariant breaks.
+        The command a shrunk repro file is replayed with.
+
+    taq-check diff scenario.json [--baseline droptail] [--candidate taq]
+        Differential oracle: same document under two disciplines,
+        metamorphic relations checked.
+
+    taq-check diff-jobs scenario.json [--jobs-a 1] [--jobs-b 2]
+        Run the same scenario points at two --jobs levels and demand
+        bit-identical outcomes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.check.fuzz import run_campaign
+
+    campaign = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        out_dir=args.out,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    failures = campaign.failures
+    clean = campaign.count - len(failures)
+    print(f"fuzz: {clean}/{campaign.count} cases clean (seed {campaign.seed})")
+    for case in failures:
+        first = case.violations[0]
+        print(f"  case {case.index} ({case.name}): [{first.monitor}] {first.message}")
+        if case.repro_path:
+            print(f"    shrunk repro: {case.repro_path}")
+    return 1 if failures else 0
+
+
+def _cmd_run(args) -> int:
+    from repro.build import ScenarioSpec, SpecError, build_simulation
+    from repro.check.fuzz import MAX_EVENTS
+    from repro.check.suite import attach_monitors
+
+    try:
+        spec = ScenarioSpec.from_file(args.scenario_file)
+    except (SpecError, OSError) as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    built = build_simulation(spec)
+    built.sim.max_events = MAX_EVENTS
+    suite = attach_monitors(built, mode=args.mode)
+    built.run()
+    suite.finalize()
+    if suite.violations:
+        print(f"{len(suite.violations)} invariant violation(s) in {spec.name}:")
+        for violation in suite.violations:
+            print(f"  [{violation.monitor}] t={violation.time:.6f}: "
+                  f"{violation.message}")
+        return 1
+    print(f"{spec.name}: all invariants held "
+          f"({built.sim.processed} events checked)")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.build import ScenarioSpec, SpecError
+    from repro.check.differential import compare_disciplines
+
+    try:
+        spec = ScenarioSpec.from_file(args.scenario_file)
+    except (SpecError, OSError) as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_disciplines(
+        spec, baseline=args.baseline, candidate=args.candidate
+    )
+    for relation in report.relations:
+        marker = "ok " if relation.holds else "FAIL"
+        print(f"  {marker} {relation.name}: {relation.detail}")
+    for violation in report.violations:
+        print(f"  FAIL invariant [{violation.monitor}]: {violation.message}")
+    print(("all relations hold" if report.ok else "differential FAILED")
+          + f" ({report.arms[0]} vs {report.arms[1]})")
+    return 0 if report.ok else 1
+
+
+def _cmd_diff_jobs(args) -> int:
+    from repro.build import ScenarioSpec, SpecError
+    from repro.check.differential import compare_jobs
+
+    try:
+        spec = ScenarioSpec.from_file(args.scenario_file)
+    except (SpecError, OSError) as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_jobs(spec, jobs_a=args.jobs_a, jobs_b=args.jobs_b,
+                          points=args.points)
+    for relation in report.relations:
+        marker = "ok " if relation.holds else "FAIL"
+        print(f"  {marker} {relation.name}: {relation.detail}")
+    print(("jobs levels agree" if report.ok else "jobs differential FAILED")
+          + f" ({report.arms[0]} vs {report.arms[1]})")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="taq-check",
+        description="Invariant monitors, differential oracles and the "
+                    "scenario fuzzer (see docs/invariants.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="deterministic fuzz campaign")
+    fuzz.add_argument("--seed", type=int, default=1, help="campaign seed")
+    fuzz.add_argument("--count", type=int, default=25, help="cases to run")
+    fuzz.add_argument("--out", default="fuzz-repros",
+                      help="directory for shrunk repro JSON (default: fuzz-repros)")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    run = sub.add_parser("run", help="run one scenario with monitors armed")
+    run.add_argument("scenario_file")
+    run.add_argument("--mode", choices=("raise", "collect"), default="collect",
+                     help="abort at first violation, or collect all (default)")
+    run.set_defaults(func=_cmd_run)
+
+    diff = sub.add_parser("diff", help="two-discipline differential oracle")
+    diff.add_argument("scenario_file")
+    diff.add_argument("--baseline", default="droptail")
+    diff.add_argument("--candidate", default="taq")
+    diff.set_defaults(func=_cmd_diff)
+
+    diff_jobs = sub.add_parser("diff-jobs", help="jobs=1 vs jobs=N equality")
+    diff_jobs.add_argument("scenario_file")
+    diff_jobs.add_argument("--jobs-a", type=int, default=1)
+    diff_jobs.add_argument("--jobs-b", type=int, default=2)
+    diff_jobs.add_argument("--points", type=int, default=3,
+                           help="seed-shifted copies making up the sweep")
+    diff_jobs.set_defaults(func=_cmd_diff_jobs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

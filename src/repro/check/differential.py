@@ -1,0 +1,276 @@
+"""Differential and metamorphic oracles over ScenarioSpecs.
+
+Two complementary comparisons, both built on the declarative build
+plane so the *same* scenario document drives every arm:
+
+- :func:`compare_disciplines` runs one spec under two queue disciplines
+  and asserts the metamorphic relations that must hold regardless of
+  the discipline under test: the offered load (flow population, sizes,
+  start times) is identical because workloads draw from named RNG
+  streams the queue never touches; the sum of per-flow goodput cannot
+  exceed what the bottleneck can serialize; and — the paper's own
+  claim, testable only in its small-packet regimes — DropTail drops at
+  least as many packets as TAQ.
+- :func:`compare_jobs` runs one spec through the parallel engine at two
+  ``--jobs`` values and asserts bit-identical outcomes: process fan-out
+  is an execution detail, never a result-changing one.
+
+Failures are collected in a :class:`DifferentialReport` rather than
+raised, so the fuzzer can fold them into its shrinking loop like any
+other violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.build import ScenarioSpec, build_simulation
+from repro.check.suite import attach_monitors
+
+
+@dataclass
+class Relation:
+    """One checked metamorphic relation."""
+
+    name: str
+    holds: bool
+    detail: str
+
+    def to_document(self) -> Dict[str, Any]:
+        return {"name": self.name, "holds": self.holds, "detail": self.detail}
+
+
+@dataclass
+class DifferentialReport:
+    """The outcome of one differential comparison."""
+
+    scenario: str
+    arms: Tuple[str, str]
+    relations: List[Relation] = field(default_factory=list)
+    #: Invariant violations recorded while running the arms (collect
+    #: mode), if monitors were armed.
+    violations: List[Any] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.holds for r in self.relations) and not self.violations
+
+    @property
+    def failures(self) -> List[Relation]:
+        return [r for r in self.relations if not r.holds]
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "arms": list(self.arms),
+            "ok": self.ok,
+            "relations": [r.to_document() for r in self.relations],
+            "violations": [
+                v.to_document() if hasattr(v, "to_document") else repr(v)
+                for v in self.violations
+            ],
+        }
+
+    def check(self, name: str, holds: bool, detail: str) -> None:
+        self.relations.append(Relation(name, bool(holds), detail))
+
+
+def respec_queue(spec: ScenarioSpec, kind: str, **params: Any) -> ScenarioSpec:
+    """A copy of *spec* with a clean queue of *kind*.
+
+    Kind-specific parameters never transfer between disciplines (a TAQ
+    ablation knob means nothing to RED), so the new queue starts from
+    just the shared ``buffer_rtts`` sizing plus whatever *params* the
+    caller supplies for the new kind.
+    """
+    document = spec.to_document()
+    document["queue"] = {
+        "kind": kind,
+        "buffer_rtts": spec.queue.buffer_rtts,
+        "reverse_tap": spec.queue.reverse_tap,
+        **params,
+    }
+    return ScenarioSpec.from_document(document)
+
+
+def offered_load_signature(built) -> List[Tuple]:
+    """A deterministic fingerprint of the traffic a built scenario will
+    offer: per-flow identity, size, and start time, before any packet
+    moves.  Two builds of the same document must produce the same
+    signature no matter which discipline guards the bottleneck."""
+    signature = []
+    for flow in built.all_flows():
+        signature.append(
+            (
+                flow.flow_id,
+                getattr(flow, "pool_id", -1),
+                getattr(flow, "size_segments", None),
+                round(getattr(flow, "start_time", 0.0), 12),
+                round(getattr(flow, "extra_rtt", 0.0), 12),
+            )
+        )
+    for user in built.users:
+        signature.append(
+            ("user", getattr(user, "user_id", None),
+             round(getattr(user, "start_time", 0.0), 12),
+             tuple(getattr(user, "pending", ()) or ()))
+        )
+    return sorted(signature, key=repr)
+
+
+def _goodput_bits(built) -> float:
+    """Total delivered DATA bits, summed from the slice collector."""
+    collector = built.collector
+    return sum(
+        sum(collector.slice_goodputs(index)) * collector.slice_seconds
+        for index in collector.slice_indices()
+    )
+
+
+def _run_arm(spec: ScenarioSpec, monitors: bool) -> Tuple[Any, Any, List]:
+    built = build_simulation(spec)
+    signature = offered_load_signature(built)
+    suite = attach_monitors(built, mode="collect") if monitors else None
+    built.run()
+    if suite is not None:
+        suite.finalize()
+    return built, signature, (suite.violations if suite is not None else [])
+
+
+def small_packet_regime(spec: ScenarioSpec, k: float = 3.0) -> bool:
+    """Whether *spec* operates in the paper's small-packet (or
+    sub-packet) regime, judged from its long-running flow count."""
+    built_probe = build_simulation(spec)
+    n_flows = max(1, len(built_probe.all_flows()))
+    topology = built_probe.topology
+    if not hasattr(topology, "packets_per_rtt"):
+        return False
+    return topology.packets_per_rtt(n_flows) < k
+
+
+def compare_disciplines(
+    spec: ScenarioSpec,
+    baseline: str = "droptail",
+    candidate: str = "taq",
+    monitors: bool = True,
+    drop_relation: Optional[bool] = None,
+) -> DifferentialReport:
+    """Run *spec* under two disciplines and check the metamorphic
+    relations.
+
+    ``drop_relation`` controls the DropTail-drops-at-least-as-much-as-TAQ
+    assertion: ``None`` (default) applies it only when the baseline is
+    droptail, the candidate is a TAQ variant, and the scenario sits in
+    the small-packet regime — the only setting where the paper makes the
+    claim.  TAQ exists to convert wasted drops into scheduling, so equal
+    offered load must not cost it *more* drops than the blind baseline.
+    """
+    base_spec = respec_queue(spec, baseline)
+    cand_spec = respec_queue(spec, candidate)
+    report = DifferentialReport(scenario=spec.name, arms=(baseline, candidate))
+
+    base_built, base_sig, base_violations = _run_arm(base_spec, monitors)
+    cand_built, cand_sig, cand_violations = _run_arm(cand_spec, monitors)
+    report.violations.extend(base_violations)
+    report.violations.extend(cand_violations)
+
+    report.check(
+        "offered-load-identical",
+        base_sig == cand_sig,
+        f"{len(base_sig)} vs {len(cand_sig)} population entries",
+    )
+
+    capacity_budget = spec.topology.capacity_bps * spec.duration
+    # One serialization in flight at the horizon is legal slack.
+    slack = 8.0 * spec.topology.pkt_size
+    for label, built in ((baseline, base_built), (candidate, cand_built)):
+        goodput = _goodput_bits(built)
+        report.check(
+            f"goodput-under-capacity[{label}]",
+            goodput <= capacity_budget + slack,
+            f"sum per-flow goodput {goodput:.0f}b vs capacity budget "
+            f"{capacity_budget:.0f}b over {spec.duration:.0f}s",
+        )
+
+    apply_drop_relation = drop_relation
+    if apply_drop_relation is None:
+        apply_drop_relation = (
+            baseline == "droptail"
+            and candidate.startswith("taq")
+            and small_packet_regime(spec)
+        )
+    if apply_drop_relation:
+        base_drops = base_built.queue.dropped
+        cand_drops = cand_built.queue.dropped
+        report.check(
+            "droptail-drops-gte-taq",
+            base_drops >= cand_drops,
+            f"droptail dropped {base_drops}, {candidate} dropped {cand_drops}",
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Jobs differential
+# ----------------------------------------------------------------------
+
+def scenario_point(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable sweep-point target: run a scenario document, return a
+    plain comparable dict (what ``compare_jobs`` diffs across workers)."""
+    from repro.experiments.scenario import run_scenario
+
+    outcome = run_scenario(document)
+    return {
+        "name": outcome.name,
+        "short_term_jain": outcome.short_term_jain,
+        "long_term_jain": outcome.long_term_jain,
+        "utilization": outcome.utilization,
+        "loss_rate": outcome.loss_rate,
+        "timeouts": outcome.timeouts,
+        "completed_transfers": outcome.completed_transfers,
+        "total_transfers": outcome.total_transfers,
+        "extras": dict(sorted(outcome.extras.items())),
+    }
+
+
+def compare_jobs(
+    spec: ScenarioSpec, jobs_a: int = 1, jobs_b: int = 2, points: int = 3
+) -> DifferentialReport:
+    """Run the same scenario points at two ``--jobs`` levels and demand
+    bit-identical outcomes (the engine's no-result-change contract).
+
+    ``points`` seed-shifted copies of *spec* make up the sweep so the
+    multi-process arm actually exercises concurrent workers.
+    """
+    from repro.parallel import ParallelRunner, PointSpec
+
+    documents = []
+    for offset in range(points):
+        document = spec.to_document()
+        document["seed"] = spec.seed + offset
+        document["name"] = f"{spec.name}-s{spec.seed + offset}"
+        documents.append(document)
+    specs = [
+        PointSpec(
+            fn="repro.check.differential:scenario_point",
+            kwargs={"document": document},
+            label=document["name"],
+        )
+        for document in documents
+    ]
+    results_a = ParallelRunner(jobs=jobs_a).run(specs)
+    results_b = ParallelRunner(jobs=jobs_b).run(specs)
+
+    report = DifferentialReport(
+        scenario=spec.name, arms=(f"jobs={jobs_a}", f"jobs={jobs_b}")
+    )
+    for result_a, result_b in zip(results_a, results_b):
+        identical = result_a.value == result_b.value
+        report.check(
+            f"jobs-equal[{result_a.spec.label}]",
+            identical,
+            "identical" if identical else
+            f"{result_a.value!r} != {result_b.value!r}",
+        )
+    return report

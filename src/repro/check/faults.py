@@ -1,0 +1,108 @@
+"""Deliberately broken components for exercising the monitors.
+
+These exist so the checking layer can prove it *catches* bugs, not just
+that clean code passes: tests (and the acceptance criterion of the
+check subsystem) inject one of these disciplines into a scenario and
+assert the conservation monitor flags it and the fuzzer shrinks it.
+
+The module doubles as a build-plane plugin — listing
+``"repro.check.faults"`` in a scenario document's ``plugins`` makes the
+faulty kinds buildable from JSON, which is what lets a shrunk repro
+document reproduce the failure standalone.  Nothing imports this module
+from production code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.build.registries import QUEUES
+from repro.net.packet import Packet
+from repro.queues.droptail import DropTailQueue
+
+
+class BlackholeDropTailQueue(DropTailQueue):
+    """DropTail that silently loses every ``every``-th arrival.
+
+    ``enqueue`` claims the packet was buffered but never appends it and
+    never records a drop — the classic unaccounted-loss bug.  The link
+    conservation monitor sees ``arrived`` outrun
+    ``dropped + resident + transmitted`` at the next event boundary.
+    """
+
+    def __init__(self, capacity_pkts: int, every: int = 7) -> None:
+        super().__init__(capacity_pkts)
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self._arrivals = 0
+        self.blackholed = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._arrivals += 1
+        if self._arrivals % self.every == 0:
+            self.blackholed += 1
+            self.enqueued += 1  # lie like the real bug would
+            return True
+        return super().enqueue(packet, now)
+
+
+class MiscountingDropTailQueue(DropTailQueue):
+    """DropTail whose ``enqueued`` counter drifts (no packet is lost).
+
+    Packets all flow correctly; only the ledger is wrong — every
+    ``every``-th acceptance is double-counted.  Conservation of actual
+    packets holds, so this one is caught by the occupancy/accounting
+    side: ``queue.enqueued`` disagrees with what went through.
+    """
+
+    def __init__(self, capacity_pkts: int, every: int = 5) -> None:
+        super().__init__(capacity_pkts)
+        self.every = every
+        self._accepted = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        accepted = super().enqueue(packet, now)
+        if accepted:
+            self._accepted += 1
+            if self._accepted % self.every == 0:
+                self.enqueued += 1  # ledger drift
+        return accepted
+
+
+class OverstuffedDropTailQueue(DropTailQueue):
+    """DropTail that admits ``overshoot`` packets beyond its capacity —
+    the occupancy-bound violation in its purest form."""
+
+    def __init__(self, capacity_pkts: int, overshoot: int = 3) -> None:
+        super().__init__(capacity_pkts)
+        self.overshoot = overshoot
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if len(self._fifo) >= self.capacity_pkts + self.overshoot:
+            self._record_drop(packet, now)
+            return False
+        self._fifo.append(packet)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        return super().dequeue(now)
+
+
+@QUEUES.register("droptail-blackhole")
+def build_blackhole(ctx, every: int = 7):
+    """Fault-injection kind (tests only): silently losing DropTail."""
+    return BlackholeDropTailQueue(ctx.buffer_pkts, every=every)
+
+
+@QUEUES.register("droptail-miscounting")
+def build_miscounting(ctx, every: int = 5):
+    """Fault-injection kind (tests only): ledger-drifting DropTail."""
+    return MiscountingDropTailQueue(ctx.buffer_pkts, every=every)
+
+
+@QUEUES.register("droptail-overstuffed")
+def build_overstuffed(ctx, overshoot: int = 3):
+    """Fault-injection kind (tests only): capacity-violating DropTail."""
+    return OverstuffedDropTailQueue(ctx.buffer_pkts, overshoot=overshoot)

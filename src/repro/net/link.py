@@ -138,6 +138,7 @@ class Link:
         self.busy = False
         self.next_link = next_link
         self._taps: List[Tap] = []
+        self._transmit_taps: List[Tap] = []
         self._delivery_taps: List[Tap] = []
         queue.attach(self)
 
@@ -149,6 +150,14 @@ class Link:
         """Register *tap(packet, now)*, called for every arriving packet
         (before the queue gets a chance to drop it)."""
         self._taps.append(tap)
+
+    def add_transmit_tap(self, tap: Tap) -> None:
+        """Register *tap(packet, now)*, called when a packet leaves the
+        queue and starts serializing — the dequeue-side counterpart of
+        :meth:`add_tap`, which conservation monitors (``repro.check``)
+        pair with arrival taps and drop observers to balance the books
+        of each queue exactly."""
+        self._transmit_taps.append(tap)
 
     def add_delivery_tap(self, tap: Tap) -> None:
         """Register *tap(packet, now)*, called for every packet actually
@@ -179,6 +188,8 @@ class Link:
             self.busy = False
             return
         self.stats.note_queue_delay(self.sim.now - packet.enqueued_at)
+        for tap in self._transmit_taps:
+            tap(packet, self.sim.now)
         self.busy = True
         tx_time = packet.size * 8.0 / self.capacity_bps
         self.stats.busy_time += tx_time

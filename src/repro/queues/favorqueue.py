@@ -81,6 +81,11 @@ class FavorQueue(QueueDiscipline):
                 # Push out a tail packet of an old flow to protect the
                 # newcomer (the favored drop-protection).
                 victim = self._normal.pop()
+                # The victim was counted as enqueued when it was
+                # accepted; move that unit of "offered load" to the drop
+                # column so loss_rate() counts the eviction exactly once
+                # (the same convention as SFQ and TAQ push-out).
+                self.enqueued = max(0, self.enqueued - 1)
                 self._record_drop(victim, now)
             if len(self) >= self.capacity_pkts:
                 self._record_drop(packet, now)

@@ -57,8 +57,17 @@ class REDQueue(QueueDiscipline):
         self.rng = rng
         self.min_th = min_th if min_th is not None else max(1.0, capacity_pkts / 4.0)
         self.max_th = max_th if max_th is not None else min(capacity_pkts, 3.0 * self.min_th)
-        if self.max_th <= self.min_th:
-            raise ValueError("max_th must exceed min_th")
+        # min_th == max_th is legal: the ramp collapses to a hard
+        # threshold (every packet with avg >= max_th is force-dropped
+        # before the ramp division is ever reached).
+        if self.max_th < self.min_th:
+            raise ValueError("max_th must be >= min_th")
+        if self.min_th < 0:
+            raise ValueError("min_th must be >= 0")
+        if not 0.0 <= max_p <= 1.0:
+            raise ValueError("max_p must be in [0, 1]")
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must be in [0, 1]")
         self.max_p = max_p
         self.weight = weight
         self.mean_pkt_size = mean_pkt_size

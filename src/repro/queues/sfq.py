@@ -83,6 +83,14 @@ class SFQQueue(QueueDiscipline):
     def enqueue(self, packet: Packet, now: float) -> bool:
         bucket = self._bucket_of(packet.flow_id)
         if self._occupancy >= self.capacity_pkts:
+            if self.buckets == 1:
+                # With one bucket, "steal from the longest bucket" would
+                # evict our own tail to admit the newcomer — same drop
+                # count as DropTail but different packet identity (the
+                # retransmission pattern shifts).  Rejecting the arrival
+                # makes bucket-count 1 degenerate to DropTail exactly.
+                self._record_drop(packet, now)
+                return False
             # Buffer stealing: push out the tail of the longest bucket.
             victim_queue = max(self._queues, key=len)
             if victim_queue is self._queues[bucket] and len(victim_queue) == 0:

@@ -36,6 +36,13 @@ class Simulator:
         self.events = EventQueue()
         self.max_events = max_events
         self.processed = 0
+        #: Optional passive observer (``repro.check``): an object with
+        #: ``on_event(event, now)``, called for every popped event
+        #: *before* the clock advances and the callback runs.  None (the
+        #: default) keeps the run loop free of instrumentation — the
+        #: same zero-overhead-when-off contract as component ``probe``
+        #: attributes.  Observers must not schedule or cancel events.
+        self.monitor = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -77,6 +84,8 @@ class Simulator:
                 raise SimulationError(f"exceeded max_events={self.max_events}")
             event = events.pop()
             assert event is not None
+            if self.monitor is not None:
+                self.monitor.on_event(event, self.now)
             self.now = event.time
             event.fired = True
             event.callback(*event.args)
@@ -93,6 +102,8 @@ class Simulator:
         event = self.events.pop()
         if event is None:
             return False
+        if self.monitor is not None:
+            self.monitor.on_event(event, self.now)
         self.now = event.time
         event.fired = True
         event.callback(*event.args)

@@ -1,0 +1,34 @@
+"""Shared builders for the check-subsystem tests: tiny, fast scenarios."""
+
+import pytest
+
+from repro.build import ScenarioSpec
+
+
+def make_document(**overrides):
+    """A small dumbbell document (sub-second build, ~2k events)."""
+    document = {
+        "name": "check-test",
+        "seed": 3,
+        "duration": 6.0,
+        "topology": {"type": "dumbbell", "capacity_bps": 400_000, "rtt": 0.1},
+        "queue": {"kind": "droptail"},
+        "workloads": [{"type": "bulk", "n_flows": 6}],
+        "metrics": {"slice_seconds": 3.0},
+    }
+    document.update(overrides)
+    return document
+
+
+def make_spec(**overrides):
+    return ScenarioSpec.from_document(make_document(**overrides))
+
+
+@pytest.fixture
+def document():
+    return make_document()
+
+
+@pytest.fixture
+def spec():
+    return make_spec()

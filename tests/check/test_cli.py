@@ -1,0 +1,79 @@
+"""End-to-end tests for the ``taq-check`` command line."""
+
+import json
+
+import pytest
+
+from repro.check.cli import main
+from tests.check.conftest import make_document
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(make_document()))
+    return str(path)
+
+
+@pytest.fixture
+def faulty_file(tmp_path):
+    document = make_document(
+        queue={"kind": "droptail-blackhole", "every": 5},
+        plugins=["repro.check.faults"],
+    )
+    path = tmp_path / "faulty.json"
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def test_run_clean_scenario_exits_zero(scenario_file, capsys):
+    assert main(["run", scenario_file]) == 0
+    out = capsys.readouterr().out
+    assert "all invariants held" in out
+    assert "events checked" in out
+
+
+def test_run_faulty_scenario_exits_one_and_prints_violations(faulty_file, capsys):
+    assert main(["run", faulty_file]) == 1
+    out = capsys.readouterr().out
+    assert "violation(s)" in out
+    assert "[conservation]" in out
+
+
+def test_run_invalid_document_exits_two(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"name": "broken"}))
+    assert main(["run", str(path)]) == 2
+    assert "scenario error" in capsys.readouterr().err
+
+
+def test_run_missing_file_exits_two(tmp_path, capsys):
+    assert main(["run", str(tmp_path / "nope.json")]) == 2
+
+
+def test_fuzz_small_campaign_exits_zero(tmp_path, capsys):
+    assert main([
+        "fuzz", "--seed", "1", "--count", "3",
+        "--out", str(tmp_path / "repros"),
+    ]) == 0
+    assert "fuzz: 3/3 cases clean (seed 1)" in capsys.readouterr().out
+
+
+def test_diff_exits_zero_when_relations_hold(scenario_file, capsys):
+    assert main(["diff", scenario_file]) == 0
+    out = capsys.readouterr().out
+    assert "all relations hold" in out
+    assert "offered-load-identical" in out
+
+
+def test_diff_jobs_exits_zero(scenario_file, capsys):
+    assert main([
+        "diff-jobs", scenario_file, "--jobs-a", "1", "--jobs-b", "2",
+        "--points", "2",
+    ]) == 0
+    assert "jobs levels agree" in capsys.readouterr().out
+
+
+def test_subcommand_is_required(capsys):
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,182 @@
+"""Fuzzer determinism, sampled-document validity, and shrinking."""
+
+import json
+import random
+
+from repro.build import ScenarioSpec
+from repro.check.fuzz import (
+    CaseResult,
+    _candidates,
+    run_campaign,
+    sample_document,
+    shrink,
+    write_repro,
+)
+from repro.check.monitors import Violation
+
+
+def test_sampled_documents_are_always_valid():
+    for case_seed in range(40):
+        rng = random.Random(case_seed)
+        document = sample_document(rng, case_seed)
+        spec = ScenarioSpec.from_document(document)  # raises on invalid
+        assert spec.name == f"fuzz-{case_seed}"
+
+
+def test_sampling_is_deterministic_per_seed():
+    a = sample_document(random.Random(99), 99)
+    b = sample_document(random.Random(99), 99)
+    assert a == b
+    c = sample_document(random.Random(100), 100)
+    assert c != a
+
+
+def test_sampling_covers_every_queue_kind():
+    kinds = {
+        sample_document(random.Random(seed), seed)["queue"]["kind"]
+        for seed in range(60)
+    }
+    assert kinds == {"droptail", "red", "sfq", "taq", "taq+ac"}
+
+
+def test_campaign_is_deterministic_independent_of_failures(tmp_path):
+    # Two campaigns with the same seed must sample identical cases even
+    # if one of them fails cases (failure handling must not consume
+    # randomness from the master stream).  The failing arm crashes
+    # (crashes skip the shrinker, so the runner sees exactly one
+    # document per case in both arms).
+    sampled = [[], []]
+    fail_some = [False, True]
+
+    for arm in range(2):
+        def runner(document, arm=arm):
+            sampled[arm].append(json.dumps(document, sort_keys=True))
+            if fail_some[arm] and len(sampled[arm]) % 2 == 0:
+                raise RuntimeError("injected")
+            return []
+
+        run_campaign(seed=17, count=6, out_dir=str(tmp_path), runner=runner)
+
+    assert sampled[0] == sampled[1]
+
+
+def test_candidates_only_shrink():
+    rng = random.Random(7)
+    document = sample_document(rng, 7)
+
+    def weight(doc):
+        flows = sum(
+            w.get("n_flows", 0) + w.get("n_users", 0)
+            + w.get("objects_per_user", 0) + w.get("connections", 0)
+            + len(w.get("lengths", []))
+            for w in doc["workloads"]
+        )
+        return (len(doc["workloads"]), flows, doc["duration"])
+
+    for candidate in _candidates(document):
+        assert weight(candidate) < weight(document)
+        ScenarioSpec.from_document(candidate)  # still valid
+
+
+def test_shrink_reaches_a_minimal_document():
+    # Synthetic failure predicate: the "bug" fires while the scenario
+    # still has at least 3 bulk flows.  The shrinker must descend to a
+    # fixed point where no candidate still fails.
+    def runner(document):
+        bulk = sum(
+            w.get("n_flows", 0) for w in document["workloads"]
+            if w["type"] == "bulk"
+        )
+        if bulk >= 3:
+            return [Violation("synthetic", f"{bulk} flows")]
+        return []
+
+    rng = random.Random(3)
+    document = sample_document(rng, 3)
+    document["workloads"][0]["n_flows"] = 48
+    shrunk = shrink(document, "synthetic", runner=runner)
+    assert runner(shrunk)  # still fails...
+    # ...but no candidate of it does (greedy fixed point).
+    assert not any(runner(c) for c in _candidates(shrunk))
+    assert shrunk["workloads"][0]["n_flows"] <= 5  # 48 -> 24 -> 12 -> 6 -> 3
+
+
+def test_shrink_requires_same_monitor():
+    # A candidate that fails with a DIFFERENT monitor must not count as
+    # a successful shrink.
+    def runner(document):
+        if document["workloads"][0].get("n_flows", 0) > 10:
+            return [Violation("wanted", "big")]
+        return [Violation("other", "small")]
+
+    rng = random.Random(4)
+    document = sample_document(rng, 4)
+    document["workloads"] = [
+        {"type": "bulk", "n_flows": 40, "start_window": 1.0}
+    ]
+    shrunk = shrink(document, "wanted", runner=runner)
+    assert shrunk["workloads"][0]["n_flows"] > 10
+
+
+def test_shrink_skips_crashing_candidates():
+    calls = {"n": 0}
+
+    def runner(document):
+        calls["n"] += 1
+        if document["duration"] < 10.0:
+            raise RuntimeError("variant does not even build")
+        return [Violation("synthetic", "still fails")]
+
+    rng = random.Random(5)
+    document = sample_document(rng, 5)
+    document["duration"] = 16.0
+    shrunk = shrink(document, "synthetic", runner=runner)
+    assert shrunk["duration"] >= 10.0
+    assert calls["n"] >= 1
+
+
+def test_write_repro_persists_document_and_violations(tmp_path):
+    case = CaseResult(
+        index=4, case_seed=123, name="fuzz-123",
+        violations=[Violation("conservation", "unbalanced", 2.0, {"n": 1})],
+    )
+    path = write_repro(str(tmp_path), case, {"name": "fuzz-123"})
+    assert path.endswith("repro-case004.json")
+    assert json.loads(open(path).read()) == {"name": "fuzz-123"}
+    sidecar = json.loads(open(path.replace(".json", ".violations.json")).read())
+    assert sidecar == [{
+        "monitor": "conservation", "message": "unbalanced",
+        "time": 2.0, "context": {"n": 1},
+    }]
+
+
+def test_campaign_counts_and_case_metadata(tmp_path):
+    campaign = run_campaign(
+        seed=9, count=3, out_dir=str(tmp_path), runner=lambda d: []
+    )
+    assert campaign.ok
+    assert [c.index for c in campaign.cases] == [0, 1, 2]
+    assert [c.case_seed for c in campaign.cases] == [
+        9 * 1_000_003 + i for i in range(3)
+    ]
+    assert all(c.repro_path is None for c in campaign.cases)
+
+
+def test_campaign_turns_crash_into_failure_with_unshrunk_repro(tmp_path):
+    def runner(document):
+        raise RuntimeError("boom")
+
+    logged = []
+    campaign = run_campaign(
+        seed=2, count=1, out_dir=str(tmp_path), runner=runner,
+        log=logged.append,
+    )
+    assert not campaign.ok
+    case = campaign.failures[0]
+    assert case.violations[0].monitor == "crash"
+    assert "RuntimeError" in case.violations[0].message
+    # Crash repros are the original document, not a shrink (the shrinker
+    # cannot tell crash-for-the-same-reason apart).
+    original = sample_document(random.Random(case.case_seed), case.case_seed)
+    assert json.loads(open(case.repro_path).read()) == original
+    assert "VIOLATION (crash)" in logged[0]

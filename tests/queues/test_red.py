@@ -63,8 +63,23 @@ def test_avg_decays_when_idle():
 
 
 def test_threshold_validation():
+    # Inverted thresholds are an error; equal thresholds are legal (the
+    # ramp collapses to a hard threshold — see test_red_edges.py).
     with pytest.raises(ValueError):
-        make_red(capacity=10, min_th=5, max_th=5)
+        make_red(capacity=10, min_th=5, max_th=4)
+    with pytest.raises(ValueError):
+        make_red(capacity=10, min_th=-1, max_th=4)
+
+
+def test_parameter_range_validation():
+    with pytest.raises(ValueError):
+        make_red(capacity=10, max_p=1.5)
+    with pytest.raises(ValueError):
+        make_red(capacity=10, max_p=-0.1)
+    with pytest.raises(ValueError):
+        make_red(capacity=10, weight=1.5)
+    with pytest.raises(ValueError):
+        make_red(capacity=10, weight=-0.1)
 
 
 def test_fifo_within_red():

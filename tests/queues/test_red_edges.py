@@ -1,0 +1,80 @@
+"""RED edge-case behaviour: degenerate parameter settings.
+
+The check-subsystem PR pins down two configurations that used to be
+rejected or untested:
+
+* ``min_th == max_th`` — the linear drop ramp collapses to a hard
+  threshold.  The ``avg >= max_th`` branch fires before the ramp is
+  reached, so the ``(max_th - min_th)`` division is never evaluated and
+  every packet above the threshold is force-dropped.
+* ``weight == 0`` — the EWMA average is frozen at its initial value of
+  zero, so RED never sees congestion and degenerates to pure DropTail
+  (only the capacity backstop drops).
+"""
+
+import random
+
+from repro.net.packet import DATA, Packet
+from repro.queues.droptail import DropTailQueue
+from repro.queues.red import REDQueue
+
+
+def pkt(flow=1, seq=0):
+    return Packet(flow, DATA, seq=seq, size=500)
+
+
+def make_red(capacity=20, **kwargs):
+    return REDQueue(capacity, random.Random(1), **kwargs)
+
+
+def test_equal_thresholds_accepted():
+    queue = make_red(capacity=10, min_th=5, max_th=5)
+    assert queue.min_th == queue.max_th == 5
+
+
+def test_equal_thresholds_act_as_hard_threshold():
+    # weight=1 makes avg track the instantaneous queue length, so the
+    # threshold behaviour is deterministic: once avg >= max_th every
+    # arrival is force-dropped, with no early (probabilistic) drops.
+    queue = make_red(capacity=100, min_th=5, max_th=5, weight=1.0)
+    outcomes = [queue.enqueue(pkt(seq=i), 0.0) for i in range(20)]
+    assert queue.early_drops == 0
+    assert queue.forced_drops > 0
+    assert queue.forced_drops == outcomes.count(False)
+    # Everything below the threshold got through untouched.
+    assert all(outcomes[:5])
+
+
+def test_equal_thresholds_never_divide_by_zero():
+    queue = make_red(capacity=50, min_th=3, max_th=3, weight=0.7)
+    # Push enough load around the threshold that a ramp evaluation
+    # would raise ZeroDivisionError if it were ever reached.
+    for i in range(200):
+        queue.enqueue(pkt(seq=i), i * 0.001)
+        if i % 3 == 0:
+            queue.dequeue(i * 0.001)
+    assert queue.early_drops == 0
+
+
+def test_zero_weight_freezes_average():
+    queue = make_red(capacity=30, min_th=1, max_th=10, weight=0.0)
+    for i in range(25):
+        queue.enqueue(pkt(seq=i), 0.0)
+    assert queue.avg == 0.0
+
+
+def test_zero_weight_degenerates_to_droptail():
+    red = make_red(capacity=8, min_th=1, max_th=4, weight=0.0)
+    droptail = DropTailQueue(8)
+    red_out = [red.enqueue(pkt(seq=i), 0.0) for i in range(20)]
+    dt_out = [droptail.enqueue(pkt(seq=i), 0.0) for i in range(20)]
+    assert red_out == dt_out
+    assert red.dropped == droptail.dropped
+    assert red.early_drops == 0
+    # Same drain order as DropTail too.
+    red_seqs, dt_seqs = [], []
+    while (p := red.dequeue(0.0)) is not None:
+        red_seqs.append(p.seq)
+    while (p := droptail.dequeue(0.0)) is not None:
+        dt_seqs.append(p.seq)
+    assert red_seqs == dt_seqs
