@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.build.registries import QUEUES, TOPOLOGIES, WORKLOADS, load_builtins, load_plugins
 from repro.build.spec import ScenarioSpec, TopologySpec
+from repro.perf.probe import active_probe, arm_scenario
 from repro.metrics import SliceGoodputCollector
 from repro.net.topology import rtt_buffer_pkts
 from repro.sim.simulator import Simulator
@@ -205,6 +206,12 @@ def build_simulation(spec: ScenarioSpec) -> BuiltScenario:
         group = WORKLOADS.create(workload.kind, context, **workload.params)
         built.groups.append(group)
         flows_spawned += len(group.flows)
+    probe = active_probe()
+    if probe is not None:
+        # Ambient profiling (``with repro.perf.profiled():``): arm the
+        # active probe across everything just built.  Probes only read
+        # the wall clock, so the simulated run stays bit-identical.
+        arm_scenario(probe, built)
     return built
 
 

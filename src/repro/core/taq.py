@@ -191,6 +191,8 @@ class TAQQueue(QueueDiscipline):
             # The victim was counted as enqueued when it was accepted;
             # move that unit of "offered load" to the drop column.
             self.enqueued = max(0, self.enqueued - 1)
+            if self.perf is not None:
+                self.perf.count("taq.evictions")
             if self.probe is not None:
                 self.probe.emit(
                     "taq_evict",
@@ -204,6 +206,8 @@ class TAQQueue(QueueDiscipline):
             self._account_drop(packet, now)
             return False
         self.enqueued += 1
+        if self.perf is not None:
+            self.perf.packets_enqueued += 1
         return True
 
     def _account_drop(self, packet: Packet, now: float) -> None:

@@ -137,6 +137,10 @@ class Link:
         self.stats = LinkStats()
         self.busy = False
         self.next_link = next_link
+        #: Optional performance probe (``repro.perf``): counts dequeues
+        #: and deliveries on this link.  None (the default) keeps the
+        #: data path uninstrumented.
+        self.perf = None
         self._taps: List[Tap] = []
         self._transmit_taps: List[Tap] = []
         self._delivery_taps: List[Tap] = []
@@ -188,6 +192,8 @@ class Link:
             self.busy = False
             return
         self.stats.note_queue_delay(self.sim.now - packet.enqueued_at)
+        if self.perf is not None:
+            self.perf.packets_dequeued += 1
         for tap in self._transmit_taps:
             tap(packet, self.sim.now)
         self.busy = True
@@ -203,6 +209,8 @@ class Link:
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1
         self.stats.bytes_delivered += packet.size
+        if self.perf is not None:
+            self.perf.packets_delivered += 1
         for tap in self._delivery_taps:
             tap(packet, self.sim.now)
         if self.next_link is not None:

@@ -21,7 +21,8 @@ from typing import Any, Dict, Optional
 
 #: Bump when manifest fields change incompatibly.
 #: v2: added ``scenario`` (full canonical ScenarioSpec document).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: added ``peak_rss_bytes`` (process peak RSS at manifest build).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -41,6 +42,9 @@ class RunManifest:
     duration: float = 0.0
     #: Wall-clock seconds the run took (not deterministic!).
     wall_time_s: float = 0.0
+    #: Peak resident set size of the producing process in bytes, read
+    #: at manifest build time (not deterministic; 0 where unavailable).
+    peak_rss_bytes: int = 0
     #: Simulator events processed.
     event_count: int = 0
     #: Structured trace events recorded.
@@ -74,12 +78,19 @@ def build_manifest(
     scenario: Optional[Dict[str, Any]] = None,
     duration: float = 0.0,
     wall_time_s: float = 0.0,
+    peak_rss_bytes: Optional[int] = None,
     event_count: int = 0,
     trace_events: int = 0,
     sample_interval: float = 0.0,
 ) -> RunManifest:
-    """Assemble a manifest, filling in source hash and timestamp."""
+    """Assemble a manifest, filling in source hash and timestamp.
+
+    ``peak_rss_bytes`` defaults to the producing process's own peak RSS
+    (``repro.perf.peak_rss_bytes``), so every bundle records its memory
+    footprint without callers having to thread it through.
+    """
     from repro.parallel.cache import code_version
+    from repro.perf.probe import peak_rss_bytes as _peak_rss
 
     return RunManifest(
         run_id=run_id,
@@ -89,6 +100,7 @@ def build_manifest(
         scenario=dict(scenario or {}),
         duration=duration,
         wall_time_s=wall_time_s,
+        peak_rss_bytes=_peak_rss() if peak_rss_bytes is None else peak_rss_bytes,
         event_count=event_count,
         trace_events=trace_events,
         sample_interval=sample_interval,
@@ -116,12 +128,12 @@ def load_manifest(path: str) -> RunManifest:
 def diff_manifests(a: RunManifest, b: RunManifest) -> Dict[str, Any]:
     """Field-by-field differences between two manifests.
 
-    Non-deterministic fields (wall time, creation timestamp) are
-    ignored; everything else that differs is returned as
+    Non-deterministic fields (wall time, peak RSS, creation timestamp)
+    are ignored; everything else that differs is returned as
     ``{field: (a_value, b_value)}``.  An empty dict means the two runs
     were produced by the same code, seed and parameters.
     """
-    skip = {"wall_time_s", "created_unix", "run_id"}
+    skip = {"wall_time_s", "peak_rss_bytes", "created_unix", "run_id"}
     out: Dict[str, Any] = {}
     for name in RunManifest.__dataclass_fields__:
         if name in skip:

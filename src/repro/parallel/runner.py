@@ -38,7 +38,9 @@ class ProgressPrinter:
     the original computation cost, i.e. the time the hit saved).
     Writes ``\\r``-refreshed lines on a TTY and one line per completed
     point otherwise (CI logs); the final line is followed by a batch
-    summary (computed/cached split and total time saved).
+    summary that keeps cold-run compute time and cache-hit lookup time
+    in separate columns, so a mostly-cached sweep never reads as if the
+    computation itself got faster.
     """
 
     def __init__(self, label: str = "points", stream: Optional[TextIO] = None) -> None:
@@ -48,6 +50,7 @@ class ProgressPrinter:
         self.computed = 0
         self.cache_hits = 0
         self.compute_time = 0.0
+        self.lookup_time = 0.0
         self.saved_time = 0.0
 
     def __call__(self, done: int, total: int, result: PointResult) -> None:
@@ -58,6 +61,7 @@ class ProgressPrinter:
         if result.cached:
             self.cache_hits += 1
             self.saved_time += result.wall_time
+            self.lookup_time += result.lookup_time
             origin = f"cache hit, saved {result.wall_time:.1f}s"
         else:
             self.computed += 1
@@ -77,11 +81,17 @@ class ProgressPrinter:
         self.stream.flush()
 
     def summary_line(self, total: int) -> str:
-        """The end-of-batch roll-up printed after the last point."""
+        """The end-of-batch roll-up printed after the last point.
+
+        Cold-run compute time and cache-hit lookup time are reported
+        separately: ``compute`` is wall time actually spent simulating
+        this batch, ``lookup`` is what serving the hits cost, ``saved``
+        is the historical compute time the hits avoided.
+        """
         return (
             f"[{self.label}] {total} point(s): {self.computed} computed "
-            f"({self.compute_time:.1f}s), {self.cache_hits} cache hit(s) "
-            f"(saved {self.saved_time:.1f}s)"
+            f"(compute {self.compute_time:.1f}s), {self.cache_hits} cache hit(s) "
+            f"(lookup {self.lookup_time:.2f}s, saved {self.saved_time:.1f}s)"
         )
 
 
@@ -95,10 +105,18 @@ class ParallelRunner:
         sequentially in-process (no pool, no pickling).
     cache:
         Optional :class:`ResultCache`; hits skip execution entirely
-        and are reported with ``cached=True``.
+        and are reported with ``cached=True`` (and the measured lookup
+        cost in ``lookup_time``).
     progress:
         Optional callback invoked after every completed point with
         ``(done, total, result)``; see :class:`ProgressPrinter`.
+    perf:
+        Optional :class:`repro.perf.PerfProbe`: counts cache
+        hits/misses and wraps each in-process point execution in a
+        ``parallel.point`` span.  None (the default) keeps the runner
+        uninstrumented.  Worker processes (``jobs > 1``) cannot share
+        the parent's probe, so pool-executed points contribute cache
+        counters only.
     """
 
     def __init__(
@@ -106,10 +124,12 @@ class ParallelRunner:
         jobs: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        perf=None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
+        self.perf = perf
 
     def run(self, specs: Sequence[PointSpec]) -> List[PointResult]:
         """Run *specs*, returning results in spec order."""
@@ -118,13 +138,24 @@ class ParallelRunner:
         done = 0
         pending: List[int] = []
         for index, spec in enumerate(specs):
-            hit = self.cache.get(spec) if self.cache is not None else None
+            if self.cache is not None:
+                lookup_start = time.perf_counter()
+                hit = self.cache.get(spec)
+                lookup_time = time.perf_counter() - lookup_start
+            else:
+                hit, lookup_time = None, 0.0
             if hit is not None:
+                if self.perf is not None:
+                    self.perf.cache_hits += 1
                 value, wall_time = hit
-                results[index] = PointResult(spec, value, wall_time, cached=True)
+                results[index] = PointResult(
+                    spec, value, wall_time, cached=True, lookup_time=lookup_time
+                )
                 done += 1
                 self._report(done, total, results[index])
             else:
+                if self.perf is not None and self.cache is not None:
+                    self.perf.cache_misses += 1
                 pending.append(index)
 
         if self.jobs == 1 or len(pending) <= 1:
@@ -136,7 +167,11 @@ class ParallelRunner:
         return [result for result in results if result is not None]
 
     def _run_one(self, spec: PointSpec, done: int, total: int) -> PointResult:
-        value, wall_time = _execute(spec)
+        if self.perf is not None:
+            with self.perf.span("parallel.point"):
+                value, wall_time = _execute(spec)
+        else:
+            value, wall_time = _execute(spec)
         result = PointResult(spec, value, wall_time)
         if self.cache is not None:
             self.cache.put(spec, value, wall_time)

@@ -74,3 +74,8 @@ class PointResult:
     wall_time: float
     #: True when the value came from the on-disk cache.
     cached: bool = False
+    #: Seconds the cache lookup itself took (hits only; 0.0 for
+    #: computed points).  Kept separate from ``wall_time`` so sweep
+    #: timing summaries never dilute cold-run compute time with the
+    #: near-zero cost of serving hits.
+    lookup_time: float = 0.0

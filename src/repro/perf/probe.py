@@ -1,0 +1,283 @@
+"""The performance probe: hot-path counters and wall-clock spans.
+
+``repro.obs`` sees *what the simulation did*; this module sees *where
+the wall-clock time goes*.  A :class:`PerfProbe` is armed onto
+components through the same ``perf = None`` slot convention that
+``repro.obs`` uses for ``probe`` and ``repro.check`` uses for
+``monitor``: every hook site reads ``if self.perf is not None`` and an
+unarmed run executes exactly the pre-instrumentation code path, so
+profiling-off runs stay bit-identical (regression-tested against the
+recorded goldens).
+
+Two kinds of instrument:
+
+- **Hot-path counters** are plain integer attributes bumped inline
+  (``perf.callbacks_dispatched += 1``) — no dict lookup, no string
+  formatting on the data path.  The catalogue: events popped off the
+  heap, cancelled events discarded, callbacks dispatched, packets
+  enqueued/dequeued/dropped/delivered, result-cache hits/misses.
+  Everything else goes through :meth:`PerfProbe.count`, a named-counter
+  dict for colder paths (TAQ evictions, per-benchmark phases).
+- **Spans** measure wall time around coarse phases (``sim.run``,
+  ``parallel.point``, benchmark build/run phases) via
+  ``with probe.span("name"):`` — per-span call count, total and max
+  seconds.
+
+Because probes only *read* the wall clock, an armed run schedules and
+fires exactly the same simulated event sequence as an unarmed one —
+the bit-identity contract ``tests/perf/test_bit_identical.py`` pins.
+
+Arming is either explicit (:func:`arm_simulator` / :func:`arm_link` /
+:func:`arm_scenario`) or ambient: ``with profiled() as probe:`` makes
+*probe* the active probe and :func:`repro.build.build_simulation`
+attaches it to everything it constructs, so whole experiments can be
+profiled without touching their code.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "PerfProbe",
+    "SpanStats",
+    "active_probe",
+    "arm_link",
+    "arm_scenario",
+    "arm_simulator",
+    "peak_rss_bytes",
+    "profiled",
+]
+
+
+class SpanStats:
+    """Aggregate wall-clock statistics for one named span."""
+
+    __slots__ = ("name", "calls", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def summary(self) -> Dict[str, float]:
+        return {"calls": self.calls, "total_s": self.total_s, "max_s": self.max_s}
+
+
+class _SpanTimer:
+    """Context manager feeding one :class:`SpanStats` (re-entrant safe:
+    each ``with`` gets its own timer)."""
+
+    __slots__ = ("_stats", "_t0")
+
+    def __init__(self, stats: SpanStats) -> None:
+        self._stats = stats
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_SpanTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stats.add(perf_counter() - self._t0)
+
+
+class PerfProbe:
+    """Hot-path counters plus named wall-clock spans for one run.
+
+    The integer attributes are the hot counters — hook sites bump them
+    directly.  :meth:`summary` folds them into the named-counter dict
+    under their dotted catalogue names (``sim.events_popped``,
+    ``net.packets_dropped``, ...) so consumers see one flat namespace.
+    """
+
+    __slots__ = (
+        "events_popped",
+        "heap_discards",
+        "callbacks_dispatched",
+        "packets_enqueued",
+        "packets_dequeued",
+        "packets_dropped",
+        "packets_delivered",
+        "cache_hits",
+        "cache_misses",
+        "counters",
+        "spans",
+    )
+
+    #: attribute -> catalogue name used by :meth:`summary`.
+    HOT_COUNTERS = {
+        "events_popped": "sim.events_popped",
+        "heap_discards": "sim.heap_discards",
+        "callbacks_dispatched": "sim.callbacks_dispatched",
+        "packets_enqueued": "net.packets_enqueued",
+        "packets_dequeued": "net.packets_dequeued",
+        "packets_dropped": "net.packets_dropped",
+        "packets_delivered": "net.packets_delivered",
+        "cache_hits": "parallel.cache_hits",
+        "cache_misses": "parallel.cache_misses",
+    }
+
+    def __init__(self) -> None:
+        self.events_popped = 0
+        self.heap_discards = 0
+        self.callbacks_dispatched = 0
+        self.packets_enqueued = 0
+        self.packets_dequeued = 0
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.counters: Dict[str, int] = {}
+        self.spans: Dict[str, SpanStats] = {}
+
+    # -- cold-path counters --------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump the named counter (get-or-create)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str) -> _SpanTimer:
+        """``with probe.span("phase"):`` — time one occurrence of *phase*."""
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats(name)
+        return _SpanTimer(stats)
+
+    # -- roll-up ---------------------------------------------------------
+    def counter_summary(self) -> Dict[str, int]:
+        """Hot + named counters as one sorted flat dict."""
+        merged = dict(self.counters)
+        for attr, name in self.HOT_COUNTERS.items():
+            value = getattr(self, attr)
+            if value:
+                merged[name] = merged.get(name, 0) + value
+        return {name: merged[name] for name in sorted(merged)}
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "counters": self.counter_summary(),
+            "spans": {
+                name: self.spans[name].summary() for name in sorted(self.spans)
+            },
+        }
+
+    def render(self) -> str:
+        """Plain-text roll-up (the ``taq-perf`` narrow-format report)."""
+        lines = ["counters:"]
+        for name, value in self.counter_summary().items():
+            lines.append(f"  {name} = {value}")
+        if self.spans:
+            lines.append("spans:")
+            for name in sorted(self.spans):
+                stats = self.spans[name]
+                lines.append(
+                    f"  {name}: calls={stats.calls} "
+                    f"total={stats.total_s:.3f}s max={stats.max_s:.3f}s"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Peak RSS
+# ----------------------------------------------------------------------
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    Uses ``resource.getrusage`` (kilobytes on Linux, bytes on macOS);
+    returns 0 where the module is unavailable (non-POSIX platforms) so
+    callers can treat the value as best-effort.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(usage)
+    return int(usage) * 1024
+
+
+# ----------------------------------------------------------------------
+# Arming helpers
+# ----------------------------------------------------------------------
+def arm_simulator(probe: PerfProbe, sim: Any) -> None:
+    """Arm *probe* on a simulator and its event heap."""
+    sim.perf = probe
+    sim.events.perf = probe
+
+
+def arm_link(probe: PerfProbe, link: Any) -> None:
+    """Arm *probe* on a link and the queue discipline it owns."""
+    link.perf = probe
+    if link.queue is not None:
+        link.queue.perf = probe
+
+
+#: Topology attributes that may hold links, across the shipped
+#: topology kinds (dumbbell forward/reverse, overlay underlay pair).
+_TOPOLOGY_LINKS = ("forward", "reverse", "underlay", "underlay_reverse", "overlay")
+
+
+def arm_scenario(probe: PerfProbe, built: Any) -> None:
+    """Arm *probe* across one :class:`repro.build.BuiltScenario`."""
+    arm_simulator(probe, built.sim)
+    built.queue.perf = probe
+    seen = set()
+    for attr in _TOPOLOGY_LINKS:
+        link = getattr(built.topology, attr, None)
+        if link is not None and id(link) not in seen and hasattr(link, "queue"):
+            seen.add(id(link))
+            arm_link(probe, link)
+
+
+# ----------------------------------------------------------------------
+# The ambient probe (what build_simulation consults)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[PerfProbe] = None
+
+
+def active_probe() -> Optional[PerfProbe]:
+    """The probe armed by the innermost :func:`profiled`, or None."""
+    return _ACTIVE
+
+
+class _Profiled:
+    """Context manager making one probe ambient (see :func:`profiled`)."""
+
+    __slots__ = ("probe", "_previous")
+
+    def __init__(self, probe: Optional[PerfProbe]) -> None:
+        self.probe = probe if probe is not None else PerfProbe()
+        self._previous: Optional[PerfProbe] = None
+
+    def __enter__(self) -> PerfProbe:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.probe
+        return self.probe
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def profiled(probe: Optional[PerfProbe] = None) -> _Profiled:
+    """``with profiled() as probe:`` — every simulation built inside the
+    block (via :func:`repro.build.build_simulation`) is armed with
+    *probe*, no experiment-code changes needed."""
+    return _Profiled(probe)
+
+
+def iter_span_names(probe: PerfProbe) -> Iterator[str]:
+    """Span names in sorted order (test/report convenience)."""
+    return iter(sorted(probe.spans))

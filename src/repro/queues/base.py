@@ -44,6 +44,12 @@ class QueueDiscipline:
         self.enqueued = 0
         self.dropped = 0
         self._drop_observers: List[DropObserver] = []
+        #: Optional performance probe (``repro.perf``): every discipline
+        #: bumps ``packets_enqueued`` on accept and the base class bumps
+        #: ``packets_dropped`` for every drop (rejections and push-out
+        #: evictions alike).  None (the default) keeps the enqueue path
+        #: uninstrumented.
+        self.perf = None
 
     # -- wiring --------------------------------------------------------
     def attach(self, link: "Link") -> None:
@@ -56,6 +62,8 @@ class QueueDiscipline:
 
     def _record_drop(self, packet: Packet, now: float) -> None:
         self.dropped += 1
+        if self.perf is not None:
+            self.perf.packets_dropped += 1
         for observer in self._drop_observers:
             observer(packet, now)
 

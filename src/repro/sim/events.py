@@ -59,11 +59,16 @@ class Event:
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects."""
 
-    __slots__ = ("_heap", "_next_seq")
+    __slots__ = ("_heap", "_next_seq", "perf")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._next_seq = 0
+        #: Optional performance probe (``repro.perf``): counts live
+        #: events popped and cancelled tombstones reaped (by :meth:`pop`
+        #: or :meth:`peek_time` alike).  None (the default) keeps both
+        #: paths uninstrumented.
+        self.perf = None
 
     def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule *callback(\\*args)* at absolute *time* and return its handle."""
@@ -81,7 +86,11 @@ class EventQueue:
         while heap:
             event = heapq.heappop(heap)
             if not event.cancelled:
+                if self.perf is not None:
+                    self.perf.events_popped += 1
                 return event
+            if self.perf is not None:
+                self.perf.heap_discards += 1
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -89,6 +98,8 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            if self.perf is not None:
+                self.perf.heap_discards += 1
         return heap[0].time if heap else None
 
     def __len__(self) -> int:

@@ -43,6 +43,12 @@ class Simulator:
         #: same zero-overhead-when-off contract as component ``probe``
         #: attributes.  Observers must not schedule or cancel events.
         self.monitor = None
+        #: Optional performance probe (``repro.perf``): counts callbacks
+        #: dispatched and wraps :meth:`run` in a ``sim.run`` span.  None
+        #: (the default) keeps the run loop uninstrumented; probes only
+        #: read the wall clock, so an armed run fires the same simulated
+        #: event sequence as an unarmed one.
+        self.perf = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -75,6 +81,14 @@ class Simulator:
         :class:`SimulationError` is raised on the attempt to process
         event ``max_events + 1``, never after it has run.
         """
+        perf = self.perf
+        if perf is None:
+            self._loop(until, None)
+        else:
+            with perf.span("sim.run"):
+                self._loop(until, perf)
+
+    def _loop(self, until: Optional[float], perf) -> None:
         events = self.events
         while True:
             next_time = events.peek_time()
@@ -90,6 +104,8 @@ class Simulator:
             event.fired = True
             event.callback(*event.args)
             self.processed += 1
+            if perf is not None:
+                perf.callbacks_dispatched += 1
         if until is not None and until > self.now:
             self.now = until
 
@@ -108,4 +124,6 @@ class Simulator:
         event.fired = True
         event.callback(*event.args)
         self.processed += 1
+        if self.perf is not None:
+            self.perf.callbacks_dispatched += 1
         return True

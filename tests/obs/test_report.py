@@ -1,0 +1,135 @@
+"""Golden-text rendering for ``repro.obs.report``.
+
+The report is a human contract: experiment writeups and CI logs quote
+it verbatim, so its text layout is pinned exactly (charts included) for
+a small deterministic telemetry bundle.  The manifest header line
+embeds the source hash, which legitimately changes every commit — it is
+matched by pattern, everything after it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.report import main, render_run_report, render_telemetry_report
+
+#: Everything the report renders below the manifest line, pinned.
+GOLDEN_BODY = """\
+events: drop=3, rto=1
+
+top droppers (packets dropped, top 10):
+flow 2  ################################################## 2
+flow 5  ######################### 1
+
+RTO firings per flow (top 10):
+flow 2  ################################################## 1
+
+queue.depth: min=0, p50=4, p95=9, p99=9, max=9
+pkts
+         9 |                           o
+       8.4 |
+       7.8 |
+       7.2 |                                    o
+       6.6 |
+         6 |
+       5.4 |
+       4.8 |                  o
+       4.2 |                                             o
+       3.6 |
+         3 |
+       2.4 |
+       1.8 |         o                                            o
+       1.2 |                                                               o
+       0.6 |
+         0 |o
+           +----------------------------------------------------------------
+            1                  sim time (s)                  8
+            o queue.depth"""
+
+MANIFEST_LINE = re.compile(
+    r"^run golden: seed=9 duration=40s events=0 source=[0-9a-f]{12}$"
+)
+
+
+def _build_telemetry(out_dir=None) -> Telemetry:
+    telemetry = Telemetry(out_dir=out_dir)
+    telemetry.emit("drop", 1.0, flow_id=2, pkt="data", seq=0)
+    telemetry.emit("drop", 2.0, flow_id=2, pkt="data", seq=1)
+    telemetry.emit("drop", 2.5, flow_id=5, pkt="data", seq=3)
+    telemetry.emit("rto", 3.0, flow_id=2, backoff=1, rto=2.0)
+    series = telemetry.registry.time_series("queue.depth")
+    for second, depth in enumerate([0, 2, 5, 9, 7, 4, 2, 1], start=1):
+        series.append(float(second), float(depth))
+    telemetry.finalize(run_id="golden", seed=9, duration=40.0)
+    return telemetry
+
+
+@pytest.fixture()
+def bundle_dir(tmp_path):
+    out = str(tmp_path / "bundle")
+    _build_telemetry(out_dir=out)
+    return out
+
+
+def _split(report: str):
+    """Header line, plus the body with chart padding trailing spaces
+    stripped (so the golden constant survives editors that trim them)."""
+    header, _, body = report.partition("\n")
+    return header, "\n".join(line.rstrip() for line in body.splitlines())
+
+
+def test_render_telemetry_report_matches_golden():
+    header, body = _split(render_telemetry_report(_build_telemetry()))
+    assert MANIFEST_LINE.match(header), header
+    assert body == GOLDEN_BODY
+
+
+def test_render_run_report_matches_golden(bundle_dir):
+    header, body = _split(render_run_report(bundle_dir))
+    assert MANIFEST_LINE.match(header), header
+    assert body == GOLDEN_BODY
+
+
+def test_live_and_persisted_reports_agree(bundle_dir):
+    # The bundle round-trip (JSONL out, JSONL in) loses nothing the
+    # report shows: both paths render the identical text.
+    assert render_run_report(bundle_dir) == render_telemetry_report(
+        _build_telemetry()
+    )
+
+
+def test_top_n_truncates_charts():
+    telemetry = Telemetry()
+    for flow in range(6):
+        telemetry.emit("drop", 1.0 + flow, flow_id=flow, pkt="data", seq=0)
+    telemetry.finalize(run_id="top", seed=1, duration=5.0)
+    report = render_telemetry_report(telemetry, top_n=2)
+    assert "top droppers (packets dropped, top 2):" in report
+    # 6 flows dropped, only 2 rows chart.
+    assert report.count("flow ") == 2
+
+
+def test_report_main_in_process(bundle_dir, capsys):
+    assert main([bundle_dir]) == 0
+    out = capsys.readouterr().out
+    assert "events: drop=3, rto=1" in out
+    assert "queue.depth" in out
+
+
+def test_report_cli_module_smoke(bundle_dir):
+    """``python -m repro.obs.report BUNDLE`` — the documented one-liner."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.obs.report", bundle_dir, "--top", "5"],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ),
+    )
+    assert result.returncode == 0, result.stderr
+    assert "events: drop=3, rto=1" in result.stdout
+    assert "top droppers (packets dropped, top 5):" in result.stdout

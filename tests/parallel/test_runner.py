@@ -1,8 +1,11 @@
 """Runner semantics: ordering, both execution paths, cache and progress."""
 
+import io
+
 import pytest
 
 from repro.parallel import ParallelRunner, PointSpec, ResultCache
+from repro.parallel.runner import ProgressPrinter
 
 SQUARE = "tests.parallel.helpers:square"
 
@@ -92,6 +95,92 @@ class TestCacheIntegration:
         assert not cache.enabled
         results = ParallelRunner(jobs=jobs, cache=cache).run(square_specs([4]))
         assert results[0].value == 16
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+class TestLookupTime:
+    def test_hits_record_lookup_time_computed_points_do_not(self, tmp_path, jobs):
+        cache = ResultCache(root=str(tmp_path), version="v1")
+        runner = ParallelRunner(jobs=jobs, cache=cache)
+        cold = runner.run(square_specs([3, 6]))
+        assert [r.lookup_time for r in cold] == [0.0, 0.0]
+        warm = runner.run(square_specs([3, 6]))
+        assert all(r.cached for r in warm)
+        assert all(r.lookup_time > 0.0 for r in warm)
+        # Lookup cost is the hit's own, never the historical compute time.
+        assert all(r.lookup_time != r.wall_time for r in warm)
+
+
+class TestPerfProbe:
+    def test_counts_hits_and_misses_and_spans_points(self, tmp_path):
+        from repro.perf import PerfProbe
+
+        cache = ResultCache(root=str(tmp_path), version="v1")
+        probe = PerfProbe()
+        runner = ParallelRunner(jobs=1, cache=cache, perf=probe)
+        runner.run(square_specs([2, 5]))
+        assert (probe.cache_hits, probe.cache_misses) == (0, 2)
+        assert probe.spans["parallel.point"].calls == 2
+        runner.run(square_specs([2, 5]))
+        assert (probe.cache_hits, probe.cache_misses) == (2, 2)
+        assert probe.spans["parallel.point"].calls == 2  # hits skip execution
+
+    def test_no_cache_means_no_miss_counting(self):
+        from repro.perf import PerfProbe
+
+        probe = PerfProbe()
+        ParallelRunner(jobs=1, perf=probe).run(square_specs([2]))
+        assert (probe.cache_hits, probe.cache_misses) == (0, 0)
+        assert probe.spans["parallel.point"].calls == 1
+
+
+class TestProgressPrinterSummary:
+    """The end-of-batch roll-up must keep cold-run compute time and
+    cache-hit lookup time in separate columns (a mostly-cached sweep
+    must never read as if computation got faster)."""
+
+    def _printer(self):
+        return ProgressPrinter(label="sweep", stream=io.StringIO())
+
+    def _result(self, cached, wall_time, lookup_time=0.0):
+        return type(
+            "R",
+            (),
+            {
+                "spec": PointSpec(SQUARE, {"x": 1}, label="p"),
+                "cached": cached,
+                "wall_time": wall_time,
+                "lookup_time": lookup_time,
+            },
+        )()
+
+    def test_summary_separates_compute_and_lookup(self):
+        printer = self._printer()
+        printer(1, 3, self._result(cached=False, wall_time=4.0))
+        printer(2, 3, self._result(cached=True, wall_time=6.0, lookup_time=0.25))
+        printer(3, 3, self._result(cached=True, wall_time=2.0, lookup_time=0.15))
+        line = printer.summary_line(3)
+        assert "1 computed (compute 4.0s)" in line
+        assert "2 cache hit(s) (lookup 0.40s, saved 8.0s)" in line
+        # Saved historical time never leaks into the compute column.
+        assert printer.compute_time == 4.0
+        assert printer.lookup_time == pytest.approx(0.40)
+        assert printer.saved_time == 8.0
+
+    def test_all_cold_batch(self):
+        printer = self._printer()
+        printer(1, 1, self._result(cached=False, wall_time=1.5))
+        line = printer.summary_line(1)
+        assert "1 computed (compute 1.5s)" in line
+        assert "0 cache hit(s) (lookup 0.00s, saved 0.0s)" in line
+
+    def test_stream_gets_summary_on_last_point(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(label="sweep", stream=stream)
+        printer(1, 2, self._result(cached=False, wall_time=1.0))
+        assert "[sweep]" not in stream.getvalue()
+        printer(2, 2, self._result(cached=True, wall_time=3.0, lookup_time=0.1))
+        assert "[sweep] 2 point(s):" in stream.getvalue()
 
 
 class TestProgress:

@@ -1,0 +1,94 @@
+"""Armed probes must not change what the simulation computes.
+
+Probes only read the wall clock, so an armed run has to schedule and
+fire exactly the same simulated event sequence as an unarmed one.  Two
+layers of evidence:
+
+- a scenario-level A/B: the same spec built twice, once unarmed and
+  once under ``profiled()``, must produce identical goodput tables,
+  event counts and final clocks;
+- the goldens harness re-run *under profiling*: the same experiments CI
+  pins byte-for-byte must still match their seed CSVs with a probe
+  armed on everything ``build_simulation`` constructs.  fig09 and pool
+  run in the default suite; the other fast goldens ride behind
+  ``--run-slow``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+import pytest
+
+from repro.build import ScenarioSpec, build_simulation
+from repro.perf import profiled
+from tests.experiments.test_goldens import EXPERIMENTS, GOLDEN_DIR
+
+SCENARIO = {
+    "name": "bitid",
+    "seed": 11,
+    "duration": 30.0,
+    "topology": {"capacity_bps": 600_000, "rtt": 0.2, "pkt_size": 200},
+    "queue": {"kind": "taq"},
+    "workloads": [
+        {"type": "bulk", "n_flows": 6},
+        {"type": "short", "lengths": [5, 9, 13], "start_time": 10.0},
+    ],
+}
+
+
+def _run(spec_document, armed):
+    spec = ScenarioSpec.from_document(spec_document)
+    if armed:
+        with profiled() as probe:
+            built = build_simulation(spec)
+            built.run()
+    else:
+        probe = None
+        built = build_simulation(spec)
+        built.run()
+    return built, probe
+
+
+def test_armed_scenario_is_bit_identical():
+    plain, _ = _run(SCENARIO, armed=False)
+    armed, probe = _run(SCENARIO, armed=True)
+    assert probe is not None and probe.events_popped > 0  # probe saw the run
+    assert armed.sim.processed == plain.sim.processed
+    assert armed.sim.now == plain.sim.now
+    assert armed.queue.enqueued == plain.queue.enqueued
+    assert armed.queue.dropped == plain.queue.dropped
+    assert armed.collector._slices == plain.collector._slices
+
+
+#: Subset of the goldens' FAST set cheap enough to re-run armed in the
+#: default suite; the rest are slow-marked (same convention as the
+#: goldens module).
+PROFILED_FAST = ("fig09", "pool")
+PROFILED_SLOW = ("fig10", "overlay", "rttf")
+
+
+def _profiled_golden_params():
+    params = [pytest.param(name, id=name) for name in PROFILED_FAST]
+    params += [
+        pytest.param(name, id=name, marks=pytest.mark.slow) for name in PROFILED_SLOW
+    ]
+    return params
+
+
+@pytest.mark.parametrize("name", _profiled_golden_params())
+def test_golden_experiment_unchanged_under_profiling(name):
+    module = importlib.import_module(EXPERIMENTS[name])
+    with profiled() as probe:
+        result = module.run(module.Config())
+    produced = result.table().to_csv().replace("\r\n", "\n")
+    with open(os.path.join(GOLDEN_DIR, f"{name}.csv"), encoding="utf-8") as handle:
+        golden = handle.read().replace("\r\n", "\n")
+    assert produced == golden, (
+        f"{name} diverged from its golden when run under an armed probe — "
+        f"instrumentation must never alter the simulated event sequence"
+    )
+    # And the probe really was armed on the experiment's simulations.
+    assert probe.events_popped > 0
+    assert probe.callbacks_dispatched > 0

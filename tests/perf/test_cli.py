@@ -1,0 +1,107 @@
+"""``taq-perf`` end to end: run, compare (exit codes), profile."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import load_bench
+from repro.perf.cli import main
+
+SCALE_ARGS = ["--scale", "0.02"]
+
+
+def test_run_writes_bench_document(tmp_path, capsys):
+    out = str(tmp_path / "bench.json")
+    code = main(["run", "--out", out, "--only", "event_heap_cancel",
+                 "--only", "queue_droptail_saturation", *SCALE_ARGS])
+    assert code == 0
+    document = load_bench(out)
+    assert set(document["benchmarks"]) == {
+        "event_heap_cancel", "queue_droptail_saturation"
+    }
+    assert f"wrote {out}: 2 benchmark(s)" in capsys.readouterr().out
+
+
+def test_run_list(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "event_heap_churn" in out
+    assert "[queues]" in out
+
+
+def test_run_unknown_benchmark_exits_2(capsys):
+    assert main(["run", "--only", "nope", *SCALE_ARGS]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_compare_detects_injected_slowdown(tmp_path, capsys):
+    out = str(tmp_path / "base.json")
+    assert main(["run", "--out", out, "--only", "event_heap_cancel",
+                 *SCALE_ARGS]) == 0
+    baseline = json.loads(open(out).read())
+    # Inject a 3x slowdown into a copy: compare must fail on it ...
+    slow = json.loads(json.dumps(baseline))
+    slow["benchmarks"]["event_heap_cancel"]["wall_time_s"] *= 3.0
+    slow_path = tmp_path / "slow.json"
+    slow_path.write_text(json.dumps(slow))
+    assert main(["compare", out, str(slow_path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+    # ... a self-compare passes ...
+    assert main(["compare", out, out]) == 0
+    # ... and a loose per-benchmark override forgives the slowdown.
+    assert main(["compare", out, str(slow_path),
+                 "--threshold-for", "event_heap_cancel=400"]) == 0
+
+
+def test_compare_rejects_non_bench_file(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "not.bench"}))
+    assert main(["compare", str(bogus), str(bogus)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_profile_bench_writes_pstats_and_folded(tmp_path, capsys):
+    prefix = str(tmp_path / "prof")
+    code = main(["profile", "--bench", "tcp_small_packets_droptail",
+                 "--scale", "0.2", "--out", prefix,
+                 "--sample-interval", "0.0005"])
+    assert code == 0
+    assert (tmp_path / "prof.pstats").exists()
+    assert (tmp_path / "prof.folded").exists()
+    out = capsys.readouterr().out
+    # cProfile table, probe roll-up, and the artifact summary line.
+    assert "cumulative" in out
+    assert "counters:" in out
+    assert "sim.events_popped" in out
+    assert "wrote" in out
+
+
+def test_profile_scenario(tmp_path, capsys):
+    scenario = tmp_path / "scenario.json"
+    scenario.write_text(json.dumps({
+        "name": "cli-profile",
+        "seed": 5,
+        "duration": 10.0,
+        "topology": {"capacity_bps": 400_000, "rtt": 0.1, "pkt_size": 300},
+        "workloads": [{"type": "bulk", "n_flows": 3}],
+    }))
+    prefix = str(tmp_path / "sprof")
+    assert main(["profile", "--scenario", str(scenario), "--out", prefix]) == 0
+    folded = (tmp_path / "sprof.folded").read_text()
+    # Folded lines are "mod:fn;mod:fn ... count" — flamegraph.pl input.
+    for line in folded.splitlines():
+        stack, _, count = line.rpartition(" ")
+        assert stack and count.isdigit()
+
+
+def test_profile_unknown_bench_exits_2(tmp_path, capsys):
+    assert main(["profile", "--bench", "nope",
+                 "--out", str(tmp_path / "x")]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_profile_requires_a_target():
+    with pytest.raises(SystemExit):
+        main(["profile"])
