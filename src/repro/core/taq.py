@@ -68,6 +68,10 @@ class TAQQueue(QueueDiscipline):
         instead of prioritizing by silence length.
     """
 
+    __slots__ = ("tracker", "fairshare", "scheduler", "admission",
+                 "classify_fair_share", "silence_priority",
+                 "admission_refusals", "probe")
+
     def __init__(
         self,
         capacity_pkts: int,

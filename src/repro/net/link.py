@@ -7,6 +7,15 @@ serialized at ``capacity_bps`` and delivered ``delay + packet.extra_delay``
 seconds after serialization finishes.  ``extra_delay`` lets the dumbbell
 topology give each flow its own access-path propagation without
 simulating per-flow access links (they are never the bottleneck).
+
+Event economy: the transmitter is *lazy*.  Serialization of a packet
+schedules its delivery immediately (computed from the serialization end
+time) and records when the transmitter frees up (``_free_at``); a
+wakeup event at ``_free_at`` is armed only while packets are actually
+waiting, so an uncongested link costs one event per packet instead of
+the classic two (transmission-done + delivery), and a saturated link
+runs one wakeup per dequeue — one burst of back-to-back packets never
+schedules more than one pending wakeup at a time.
 """
 
 from __future__ import annotations
@@ -135,7 +144,10 @@ class Link:
         self.queue = queue
         self.name = name
         self.stats = LinkStats()
-        self.busy = False
+        # Absolute time the transmitter finishes its current packet, and
+        # whether a wakeup event is armed to dequeue the next one then.
+        self._free_at = 0.0
+        self._wakeup_armed = False
         self.next_link = next_link
         #: Optional performance probe (``repro.perf``): counts dequeues
         #: and deliveries on this link.  None (the default) keeps the
@@ -145,6 +157,12 @@ class Link:
         self._transmit_taps: List[Tap] = []
         self._delivery_taps: List[Tap] = []
         queue.attach(self)
+        # Precomputed discipline dispatch: the queue is fixed for the
+        # link's lifetime, so the per-packet path calls these bound
+        # methods instead of chasing queue attributes on every packet.
+        self._q_enqueue = queue.enqueue
+        self._q_dequeue = queue.dequeue
+        self._q_len = queue.__len__
 
     # ------------------------------------------------------------------
     # Taps: passive observers of traffic entering the link (e.g. the TAQ
@@ -172,6 +190,12 @@ class Link:
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while the transmitter has a packet on the wire (or a
+        wakeup armed to fetch the next one the instant it frees up)."""
+        return self._wakeup_armed or self.sim.now < self._free_at
+
     def send(self, packet: Packet) -> bool:
         """Offer *packet* to the link.  Returns False if the queue dropped it."""
         now = self.sim.now
@@ -179,32 +203,53 @@ class Link:
         for tap in self._taps:
             tap(packet, now)
         packet.enqueued_at = now
-        if not self.queue.enqueue(packet, now):
+        if not self._q_enqueue(packet, now):
             self.stats.dropped += 1
             return False
-        if not self.busy:
-            self._start_transmission()
+        if self._wakeup_armed:
+            return True
+        if now < self._free_at:
+            # Mid-serialization arrival: arm one wakeup for the whole
+            # burst that accumulates before the transmitter frees up.
+            self._wakeup_armed = True
+            self.sim.schedule_at(self._free_at, self._on_wakeup)
+            return True
+        self._begin_serialization(now)
         return True
 
-    def _start_transmission(self) -> None:
-        packet = self.queue.dequeue(self.sim.now)
+    def _on_wakeup(self) -> None:
+        self._wakeup_armed = False
+        self._begin_serialization(self.sim.now)
+
+    def _begin_serialization(self, now: float) -> None:
+        packet = self._q_dequeue(now)
         if packet is None:
-            self.busy = False
             return
-        self.stats.note_queue_delay(self.sim.now - packet.enqueued_at)
+        self.stats.note_queue_delay(now - packet.enqueued_at)
         if self.perf is not None:
             self.perf.packets_dequeued += 1
         for tap in self._transmit_taps:
-            tap(packet, self.sim.now)
-        self.busy = True
-        tx_time = packet.size * 8.0 / self.capacity_bps
+            tap(packet, now)
+        tx_time = packet.tx_bits / self.capacity_bps
         self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._transmission_done, (packet,))
+        end = now + tx_time
+        self._free_at = end
+        if self._q_len():
+            # More packets already waiting: the wakeup is armed *before*
+            # the delivery is scheduled so that, on a zero-delay link,
+            # the next dequeue still precedes this packet's delivery
+            # within the same timestamp.
+            self._wakeup_armed = True
+            self.sim.schedule_at(end, self._on_wakeup)
+        self._schedule_delivery(packet, end)
 
-    def _transmission_done(self, packet: Packet) -> None:
-        total_delay = self.delay + packet.extra_delay
-        self.sim.schedule(total_delay, self._deliver, (packet,))
-        self._start_transmission()
+    def _schedule_delivery(self, packet: Packet, end: float) -> None:
+        """Schedule :meth:`_deliver` for a packet whose serialization
+        finishes at *end*.  Subclass hook: overrides may interpose an
+        event at *end* (e.g. to draw per-packet delivery noise in
+        serialization order — see ``repro.testbed.emulation``)."""
+        self.sim.schedule_at(end + (self.delay + packet.extra_delay),
+                             self._deliver, (packet,))
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1

@@ -61,6 +61,7 @@ class Packet:
         "size",
         "is_retransmit",
         "sack",
+        "tx_bits",
         "sent_at",
         "extra_delay",
         "dst",
@@ -90,6 +91,10 @@ class Packet:
         self.size = size
         self.is_retransmit = is_retransmit
         self.sack = sack
+        # Wire size in bits, precomputed once: every hop divides it by
+        # its capacity, and ``size * 8.0 / capacity`` groups exactly as
+        # ``(size * 8.0) / capacity``, so this is bit-identical.
+        self.tx_bits = size * 8.0
         self.sent_at = 0.0
         self.extra_delay = 0.0
         self.dst = None

@@ -6,8 +6,9 @@ returns how much work that was (events processed, packets handled).
 The runner times it (best-of-``repeats`` wall time), derives the
 throughput rates, and snapshots peak RSS; the whole suite serializes to
 a schema-versioned BENCH document committed at the repo root
-(``BENCH_5.json`` for this PR) so every future change can be compared
-against a recorded baseline with ``taq-perf compare``.
+(``BENCH_6.json`` since the event-core rearchitecture; ``BENCH_5.json``
+is kept as the heap-era reference point) so every future change can be
+compared against a recorded baseline with ``taq-perf compare``.
 
 A ``scale`` knob multiplies each benchmark's problem size so tests can
 run the full suite in milliseconds (``scale=0.02``) while CI and the
@@ -34,7 +35,7 @@ from repro.perf.probe import peak_rss_bytes
 BENCH_SCHEMA_VERSION = 1
 BENCH_SCHEMA = "repro.perf.bench"
 #: The trajectory file this PR emits at the repo root.
-DEFAULT_BENCH_NAME = "BENCH_5.json"
+DEFAULT_BENCH_NAME = "BENCH_6.json"
 
 
 @dataclass

@@ -2,7 +2,7 @@
 
 Subcommands::
 
-    taq-perf run [--out BENCH_5.json] [--scale 1.0] [--repeats 1]
+    taq-perf run [--out BENCH_6.json] [--scale 1.0] [--repeats 1]
                  [--only NAME ...] [--list]
         Run the benchmark suite and write the schema-versioned BENCH
         document (wall time, events/sec, packets/sec, peak RSS per
@@ -10,8 +10,10 @@ Subcommands::
 
     taq-perf compare baseline.json candidate.json
                  [--threshold PCT] [--threshold-for NAME=PCT ...]
+                 [--markdown]
         Diff two BENCH documents; exit non-zero when any benchmark's
-        wall time regressed beyond its threshold.
+        wall time regressed beyond its threshold.  ``--markdown``
+        renders a GitHub table (CI pipes it to $GITHUB_STEP_SUMMARY).
 
     taq-perf profile (--bench NAME | --scenario FILE.json)
                  [--out PREFIX] [--scale 1.0] [--sample-interval 0.001]
@@ -76,6 +78,7 @@ def _cmd_compare(args) -> int:
             args.candidate,
             threshold_pct=args.threshold,
             per_benchmark_pct=overrides,
+            markdown=args.markdown,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -164,6 +167,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     compare.add_argument("--threshold-for", action="append", default=[],
                          metavar="NAME=PCT",
                          help="per-benchmark threshold override (repeatable)")
+    compare.add_argument("--markdown", action="store_true",
+                         help="render a GitHub-flavoured markdown table "
+                              "(for $GITHUB_STEP_SUMMARY)")
     compare.set_defaults(func=_cmd_compare)
 
     profile = sub.add_parser(

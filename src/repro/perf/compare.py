@@ -141,6 +141,46 @@ def render_comparison(comparison: Comparison) -> str:
     return "\n".join(lines)
 
 
+def render_markdown(comparison: Comparison) -> str:
+    """GitHub-flavoured-markdown comparison table plus the verdict line.
+
+    The shape CI writes to ``$GITHUB_STEP_SUMMARY``: one row per
+    benchmark with wall times, the relative delta, both sides' rates
+    and the applied threshold; regressed rows are bolded so they jump
+    out of the job summary without opening the log.
+    """
+    lines = [
+        "| benchmark | base wall | cand wall | wall Δ | events/s | packets/s | limit | verdict |",
+        "|---|---:|---:|---:|---:|---:|---:|---|",
+    ]
+    for delta in comparison.deltas:
+        verdict = "**REGRESSED**" if delta.regressed else "ok"
+        name = f"**{delta.name}**" if delta.regressed else delta.name
+        lines.append(
+            f"| {name} "
+            f"| {delta.base_wall_s:.3f}s "
+            f"| {delta.cand_wall_s:.3f}s "
+            f"| {delta.wall_delta * 100.0:+.1f}% "
+            f"| {_rate(delta.base_events_per_sec)} → {_rate(delta.cand_events_per_sec)} "
+            f"| {_rate(delta.base_packets_per_sec)} → {_rate(delta.cand_packets_per_sec)} "
+            f"| +{delta.threshold_pct:.0f}% "
+            f"| {verdict} |"
+        )
+    for name in comparison.only_in_baseline:
+        lines.append(f"| {name} | — | — | — | — | — | — | only in baseline |")
+    for name in comparison.only_in_candidate:
+        lines.append(f"| {name} | — | — | — | — | — | — | only in candidate |")
+    regressions = comparison.regressions
+    if regressions:
+        names = ", ".join(delta.name for delta in regressions)
+        lines.append("")
+        lines.append(f"❌ **FAIL**: {len(regressions)} regression(s): {names}")
+    else:
+        lines.append("")
+        lines.append(f"✅ **OK**: {len(comparison.deltas)} benchmark(s) within thresholds")
+    return "\n".join(lines)
+
+
 def parse_threshold_overrides(items: List[str]) -> Dict[str, float]:
     """Parse repeated ``--threshold-for NAME=PCT`` values."""
     overrides: Dict[str, float] = {}
@@ -160,8 +200,13 @@ def compare_files(
     candidate_path: str,
     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
     per_benchmark_pct: Optional[Mapping[str, float]] = None,
+    markdown: bool = False,
 ) -> Tuple[Comparison, str]:
-    """Load, compare and render two BENCH files."""
+    """Load, compare and render two BENCH files.
+
+    ``markdown=True`` renders the GitHub-table form (for
+    ``$GITHUB_STEP_SUMMARY``) instead of the plain-text table.
+    """
     from repro.perf.bench import load_bench
 
     comparison = compare_documents(
@@ -170,4 +215,5 @@ def compare_files(
         threshold_pct=threshold_pct,
         per_benchmark_pct=per_benchmark_pct,
     )
-    return comparison, render_comparison(comparison)
+    render = render_markdown if markdown else render_comparison
+    return comparison, render(comparison)

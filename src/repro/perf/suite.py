@@ -2,8 +2,8 @@
 
 Four groups, chosen to cover every layer the probe instruments:
 
-- ``sim``: the event heap alone — schedule/pop churn and lazy
-  cancellation, the two inner loops every simulated second rides on.
+- ``sim``: the event store alone — schedule/pop churn and cancellation
+  churn, the two inner loops every simulated second rides on.
 - ``queues``: each registered discipline (droptail, red, sfq,
   favorqueue, taq) driven to saturation directly — enqueue/dequeue
   with no TCP above it, isolating per-packet discipline cost.
@@ -68,9 +68,10 @@ def event_heap_churn(scale: float) -> BenchCounts:
 
 @benchmark("event_heap_cancel", group="sim")
 def event_heap_cancel(scale: float) -> BenchCounts:
-    """Lazy cancellation: half the scheduled events are cancelled
-    before they fire, so the pop loop must discard tombstones — the
-    retransmit-timer pattern TCP subjects the heap to constantly."""
+    """Cancellation churn: half the scheduled events are cancelled
+    before they fire — the retransmit-timer pattern TCP subjects the
+    scheduler to constantly.  The timer wheel removes cancelled entries
+    physically at cancel time, so this measures slot-edit cost."""
     sim = Simulator(seed=2)
     n = _scaled(120_000, scale, minimum=2)
     events = [sim.schedule(0.001 + 0.000001 * i, _noop) for i in range(n)]

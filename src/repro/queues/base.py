@@ -34,7 +34,23 @@ class QueueDiscipline:
         Buffer size in packets.  The paper sizes buffers in RTTs worth
         of packets at the bottleneck rate; helpers for that conversion
         live in :mod:`repro.net.topology`.
+
+    Contract
+    --------
+    ``dequeue`` must be **pure on empty**: when the buffer holds no
+    packet it returns None without mutating any discipline state.  The
+    link's lazy transmitter relies on this — it probes occupancy with
+    ``len()`` instead of issuing speculative dequeues, so a discipline
+    whose empty dequeue had side effects (e.g. starting an idle period)
+    must apply them where the occupancy actually changes.
+
+    Subclasses may declare ``__slots__`` (the hierarchy is slotted to
+    keep per-queue attribute access cheap on the per-packet path);
+    third-party subclasses that skip it simply get a ``__dict__`` back.
     """
+
+    __slots__ = ("capacity_pkts", "link", "enqueued", "dropped",
+                 "_drop_observers", "perf")
 
     def __init__(self, capacity_pkts: int) -> None:
         if capacity_pkts < 1:

@@ -12,6 +12,8 @@ from repro.queues.base import QueueDiscipline
 class DropTailQueue(QueueDiscipline):
     """FIFO buffer that drops arrivals when full."""
 
+    __slots__ = ("_fifo",)
+
     def __init__(self, capacity_pkts: int) -> None:
         super().__init__(capacity_pkts)
         self._fifo: Deque[Packet] = deque()

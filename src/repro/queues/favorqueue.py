@@ -47,6 +47,9 @@ class FavorQueue(QueueDiscipline):
         the paper's parameterless design intends.
     """
 
+    __slots__ = ("favor_packets", "state_horizon", "_favored", "_normal",
+                 "_seen", "favored_admissions")
+
     def __init__(
         self,
         capacity_pkts: int,

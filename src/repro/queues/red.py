@@ -43,6 +43,10 @@ class REDQueue(QueueDiscipline):
         transmitted during an idle period (idle compensation).
     """
 
+    __slots__ = ("rng", "min_th", "max_th", "max_p", "weight",
+                 "mean_pkt_size", "avg", "count", "_idle_since", "_fifo",
+                 "early_drops", "forced_drops")
+
     def __init__(
         self,
         capacity_pkts: int,

@@ -37,6 +37,9 @@ class SFQQueue(QueueDiscipline):
         Initial hash salt.
     """
 
+    __slots__ = ("buckets", "perturbation", "perturb_interval",
+                 "_queues", "_occupancy", "_rr_index")
+
     def __init__(
         self,
         capacity_pkts: int,
@@ -113,12 +116,23 @@ class SFQQueue(QueueDiscipline):
     def dequeue(self, now: float) -> Optional[Packet]:
         if self._occupancy == 0:
             return None
-        for offset in range(self.buckets):
-            index = (self._rr_index + offset) % self.buckets
-            if self._queues[index]:
-                self._rr_index = (index + 1) % self.buckets
+        # Round-robin scan from _rr_index, as two straight ranges so the
+        # per-bucket step is an index bump rather than a modulo.
+        queues = self._queues
+        nbuckets = self.buckets
+        rr = self._rr_index
+        for index in range(rr, nbuckets):
+            bucket = queues[index]
+            if bucket:
+                self._rr_index = index + 1 if index + 1 < nbuckets else 0
                 self._occupancy -= 1
-                return self._queues[index].popleft()
+                return bucket.popleft()
+        for index in range(rr):
+            bucket = queues[index]
+            if bucket:
+                self._rr_index = index + 1
+                self._occupancy -= 1
+                return bucket.popleft()
         return None
 
     def __len__(self) -> int:

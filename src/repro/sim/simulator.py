@@ -34,6 +34,9 @@ class Simulator:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.events = EventQueue()
+        # Bound-method cache for the per-event scheduling path (the
+        # queue is fixed for the simulator's lifetime).
+        self._push = self.events.push
         self.max_events = max_events
         self.processed = 0
         #: Optional passive observer (``repro.check``): an object with
@@ -59,7 +62,7 @@ class Simulator:
         """Schedule *callback* to run *delay* seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.events.push(self.now + delay, callback, args)
+        return self._push(self.now + delay, callback, args)
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], args: tuple = ()
@@ -67,7 +70,7 @@ class Simulator:
         """Schedule *callback* at absolute *time* (must not be in the past)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time!r}, now is {self.now!r}")
-        return self.events.push(time, callback, args)
+        return self._push(time, callback, args)
 
     # ------------------------------------------------------------------
     # Running
@@ -90,22 +93,34 @@ class Simulator:
 
     def _loop(self, until: Optional[float], perf) -> None:
         events = self.events
-        while True:
-            next_time = events.peek_time()
-            if next_time is None or (until is not None and next_time > until):
-                break
-            if self.max_events is not None and self.processed >= self.max_events:
-                raise SimulationError(f"exceeded max_events={self.max_events}")
-            event = events.pop()
-            assert event is not None
-            if self.monitor is not None:
-                self.monitor.on_event(event, self.now)
-            self.now = event.time
-            event.fired = True
-            event.callback(*event.args)
-            self.processed += 1
-            if perf is not None:
-                perf.callbacks_dispatched += 1
+        limit = float("inf") if until is None else until
+        if self.max_events is None and self.monitor is None and perf is None:
+            # Uninstrumented fast path: one wheel scan per event via
+            # pop_due, no budget or observer checks.  processed still
+            # advances per iteration — callbacks read it mid-run.
+            pop_due = events.pop_due
+            while (event := pop_due(limit)) is not None:
+                self.now = event.time
+                event.fired = True
+                event.callback(*event.args)
+                self.processed += 1
+        else:
+            while True:
+                next_time = events.peek_time()
+                if next_time is None or next_time > limit:
+                    break
+                if self.max_events is not None and self.processed >= self.max_events:
+                    raise SimulationError(f"exceeded max_events={self.max_events}")
+                event = events.pop()
+                assert event is not None
+                if self.monitor is not None:
+                    self.monitor.on_event(event, self.now)
+                self.now = event.time
+                event.fired = True
+                event.callback(*event.args)
+                self.processed += 1
+                if perf is not None:
+                    perf.callbacks_dispatched += 1
         if until is not None and until > self.now:
             self.now = until
 

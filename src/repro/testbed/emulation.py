@@ -80,10 +80,16 @@ class JitteredLink(Link):
             noise += self.jitter_rng.expovariate(1.0 / self.jitter_mean)
         return noise
 
-    def _transmission_done(self, packet: Packet) -> None:
+    def _schedule_delivery(self, packet: Packet, end: float) -> None:
+        # The noise draw must happen at serialization *end*, not when the
+        # delivery is scheduled: the forward and reverse links share one
+        # named RNG stream, so draws have to occur in wire order for runs
+        # to stay reproducible.  Interpose a dispatch event at `end`.
+        self.sim.schedule_at(end, self._noisy_delivery_dispatch, (packet,))
+
+    def _noisy_delivery_dispatch(self, packet: Packet) -> None:
         total_delay = self.delay + packet.extra_delay + self._noise()
         self.sim.schedule(total_delay, self._deliver, (packet,))
-        self._start_transmission()
 
 
 class TestbedDumbbell:

@@ -124,11 +124,11 @@ def test_duplicate_registration_rejected():
 
 
 def test_committed_baseline_matches_current_suite():
-    """BENCH_5.json at the repo root is the committed baseline the CI
+    """BENCH_6.json at the repo root is the committed baseline the CI
     perf job compares against — it must stay in step with the suite."""
     import os
 
-    path = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_5.json")
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_6.json")
     document = load_bench(path)
     assert set(document["benchmarks"]) == set(load_suite())
     for name, row in document["benchmarks"].items():

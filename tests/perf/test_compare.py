@@ -9,6 +9,7 @@ from repro.perf.compare import (
     compare_documents,
     parse_threshold_overrides,
     render_comparison,
+    render_markdown,
 )
 
 
@@ -87,6 +88,27 @@ def test_render_verdicts():
     ok_text = render_comparison(compare_documents(_document({"b": 1.0}),
                                                   _document({"b": 1.0})))
     assert "OK: 1 benchmark(s) within thresholds" in ok_text
+
+
+def test_render_markdown_table_and_verdicts():
+    comparison = compare_documents(
+        _document({"a": 1.0, "b": 1.0, "old": 1.0}),
+        _document({"a": 3.0, "b": 1.0, "new": 1.0}),
+    )
+    text = render_markdown(comparison)
+    lines = text.splitlines()
+    # A well-formed GitHub table: header, separator, one row per
+    # benchmark, with regressed rows bolded for the job summary.
+    assert lines[0].startswith("| benchmark |")
+    assert set(lines[1].strip("|").split("|")) <= {"---", "---:"}
+    assert "| **a** |" in text and "**REGRESSED**" in text
+    assert "| b |" in text
+    assert "only in baseline" in text and "only in candidate" in text
+    assert "**FAIL**: 1 regression(s): a" in text
+    ok_text = render_markdown(compare_documents(_document({"b": 1.0}),
+                                                _document({"b": 1.0})))
+    assert "**OK**: 1 benchmark(s) within thresholds" in ok_text
+    assert "REGRESSED" not in ok_text
 
 
 def test_parse_threshold_overrides():
