@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.build.registries import QUEUES, TOPOLOGIES, WORKLOADS, load_builtins, load_plugins
 from repro.build.spec import ScenarioSpec, TopologySpec
+from repro.obs.spans import active_recorder, arm_spans
 from repro.perf.probe import active_probe, arm_scenario
 from repro.metrics import SliceGoodputCollector
 from repro.net.topology import rtt_buffer_pkts
@@ -212,6 +213,12 @@ def build_simulation(spec: ScenarioSpec) -> BuiltScenario:
         # active probe across everything just built.  Probes only read
         # the wall clock, so the simulated run stays bit-identical.
         arm_scenario(probe, built)
+    recorder = active_recorder()
+    if recorder is not None:
+        # Ambient span tracing (``with repro.obs.spans.recording():``):
+        # arm the flight recorder the same way.  Recorders only append
+        # to their own span list, so the run stays bit-identical.
+        arm_spans(recorder, built)
     return built
 
 

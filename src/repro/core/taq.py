@@ -171,6 +171,8 @@ class TAQQueue(QueueDiscipline):
                 self.probe.emit(
                     "taq_refused", now, flow_id=packet.flow_id, pool=packet.pool_id
                 )
+            if self.spans is not None:
+                self.spans.on_admission_refused(packet, now)
             self._record_drop(packet, now)
             return False
 
@@ -181,13 +183,16 @@ class TAQQueue(QueueDiscipline):
             self.admission.note_arrival(now)
 
         klass = self._classify(packet, record, is_retransmission, now)
-        if self.probe is not None and klass == PacketClass.OVER_PENALIZED:
-            self.probe.emit(
-                "taq_penalty_box",
-                now,
-                flow_id=packet.flow_id,
-                recent_drops=record.recent_drops(),
-            )
+        if klass == PacketClass.OVER_PENALIZED:
+            if self.probe is not None:
+                self.probe.emit(
+                    "taq_penalty_box",
+                    now,
+                    flow_id=packet.flow_id,
+                    recent_drops=record.recent_drops(),
+                )
+            if self.spans is not None:
+                self.spans.on_penalized(packet, now, record.recent_drops())
         accepted, evicted = self.scheduler.enqueue(
             packet, klass, priority=silence, connection_attempt=packet.kind == SYN
         )
@@ -205,6 +210,8 @@ class TAQQueue(QueueDiscipline):
                     by_flow=packet.flow_id,
                     seq=evicted.seq,
                 )
+            if self.spans is not None:
+                self.spans.on_evicted(evicted, packet, now)
             self._account_drop(evicted, now)
         if not accepted:
             self._account_drop(packet, now)

@@ -92,6 +92,25 @@ def _run_scenarios(args) -> int:
         except (ScenarioError, OSError) as exc:
             print(f"scenario error: {exc}", file=sys.stderr)
             return 2
+    if args.spans is not None:
+        if len(specs) != 1:
+            print("(--spans records one scenario at a time; pass a single file)",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.spans import SpanRecorder, recording, save_spans
+        from repro.obs.streamstats import StreamingFlowStats
+
+        recorder = SpanRecorder(stream=StreamingFlowStats())
+        with recording(recorder):
+            outcome = run_scenario(specs[0])
+        with open(args.spans, "w", encoding="utf-8") as handle:
+            written = save_spans(recorder.spans, handle)
+        print(outcome)
+        print(f"(span trace: {written} spans written to {args.spans}; "
+              f"inspect with 'taq-obs flows {args.spans}')")
+        if recorder.stream is not None:
+            print(recorder.stream.render())
+        return 0
     jobs = args.jobs if args.jobs is not None else 1
     if jobs != 1 and len(specs) > 1:
         from repro.parallel import ParallelRunner, PointSpec
@@ -182,7 +201,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--chart", action="store_true",
         help="also render an ASCII chart (where the experiment supports it)",
     )
+    parser.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help="record a causal span trace (repro.obs.spans) and write it "
+             "to PATH; only with the 'scenario' command and a single "
+             "file — inspect with taq-obs timeline/critical-path",
+    )
+    parser.add_argument(
+        "--bus-dir", metavar="DIR", default=None,
+        help="arm the live sweep progress bus: workers append per-point "
+             "start/heartbeat/done events under DIR for 'taq-obs tail' "
+             "(equivalent to setting TAQ_OBS_BUS)",
+    )
     args = parser.parse_args(argv)
+    if args.bus_dir is not None:
+        # The runner (and pool workers, which inherit the environment)
+        # default their bus from this variable.
+        os.environ["TAQ_OBS_BUS"] = args.bus_dir
 
     if args.experiment == "list":
         for key, (_, description) in EXPERIMENTS.items():
@@ -203,6 +238,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
 
+    if args.spans is not None:
+        print("(note: --spans only applies to the 'scenario' command; ignored)",
+              file=sys.stderr)
     module_name, _ = EXPERIMENTS[args.experiment]
     module = importlib.import_module(module_name)
     config = module.Config.paper() if args.paper else module.Config()

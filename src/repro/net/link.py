@@ -153,6 +153,11 @@ class Link:
         #: and deliveries on this link.  None (the default) keeps the
         #: data path uninstrumented.
         self.perf = None
+        #: Optional span recorder (``repro.obs.spans``): records each
+        #: packet's enqueue / tx-start / delivery lifecycle stages on
+        #: this link.  None (the default) keeps the data path
+        #: uninstrumented.
+        self.spans = None
         self._taps: List[Tap] = []
         self._transmit_taps: List[Tap] = []
         self._delivery_taps: List[Tap] = []
@@ -206,6 +211,8 @@ class Link:
         if not self._q_enqueue(packet, now):
             self.stats.dropped += 1
             return False
+        if self.spans is not None:
+            self.spans.on_enqueue(packet, now, self.name)
         if self._wakeup_armed:
             return True
         if now < self._free_at:
@@ -228,6 +235,8 @@ class Link:
         self.stats.note_queue_delay(now - packet.enqueued_at)
         if self.perf is not None:
             self.perf.packets_dequeued += 1
+        if self.spans is not None:
+            self.spans.on_tx_start(packet, now, self.name)
         for tap in self._transmit_taps:
             tap(packet, now)
         tx_time = packet.tx_bits / self.capacity_bps
@@ -258,6 +267,9 @@ class Link:
             self.perf.packets_delivered += 1
         for tap in self._delivery_taps:
             tap(packet, self.sim.now)
+        if self.spans is not None:
+            self.spans.on_delivered(packet, self.sim.now,
+                                    last=self.next_link is None)
         if self.next_link is not None:
             # Chained hop (e.g. LAN ingress feeding the bottleneck).
             self.next_link.send(packet)

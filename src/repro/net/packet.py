@@ -71,6 +71,7 @@ class Packet:
         "fb_echo",
         "tunnel_seq",
         "enqueued_at",
+        "span_id",
     )
 
     def __init__(
@@ -110,6 +111,9 @@ class Packet:
         # Stamped by a Link when the packet is accepted into its queue;
         # read back at transmission start to measure queueing delay.
         self.enqueued_at = 0.0
+        # Id of this packet's lifecycle span when a ``repro.obs.spans``
+        # recorder is armed; -1 otherwise (and always when disarmed).
+        self.span_id = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = "R" if self.is_retransmit else ""

@@ -28,8 +28,24 @@ from repro.obs.metrics import (
     TimeSeries,
     load_metrics_jsonl,
 )
-from repro.obs.report import render_run_report, render_telemetry_report
+from repro.obs.causal import critical_path, render_critical_path, render_timeline
+from repro.obs.report import (
+    render_run_report,
+    render_telemetry_report,
+    run_report_payload,
+)
 from repro.obs.sampler import Sampler
+from repro.obs.spans import (
+    SPANS_SCHEMA_VERSION,
+    Span,
+    SpanRecorder,
+    active_recorder,
+    arm_spans,
+    load_spans,
+    recording,
+    save_spans,
+)
+from repro.obs.streamstats import LogHistogram, StreamingFlowStats
 from repro.obs.telemetry import (
     Telemetry,
     instrument_flow,
@@ -51,16 +67,24 @@ __all__ = [
     "EventTrace",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MANIFEST_SCHEMA_VERSION",
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "RunManifest",
     "Sampler",
+    "Span",
+    "SpanRecorder",
+    "SPANS_SCHEMA_VERSION",
+    "StreamingFlowStats",
     "Telemetry",
     "TimeSeries",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
+    "active_recorder",
+    "arm_spans",
     "build_manifest",
+    "critical_path",
     "diff_manifests",
     "instrument_flow",
     "instrument_flows",
@@ -69,8 +93,14 @@ __all__ = [
     "load_events",
     "load_manifest",
     "load_metrics_jsonl",
+    "load_spans",
+    "recording",
+    "render_critical_path",
     "render_run_report",
     "render_telemetry_report",
+    "render_timeline",
+    "run_report_payload",
     "save_events",
+    "save_spans",
     "summarize_events",
 ]

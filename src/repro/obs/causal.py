@@ -1,0 +1,317 @@
+"""Causal analysis over span traces: timelines and critical paths.
+
+Given the spans a :class:`repro.obs.spans.SpanRecorder` collected, this
+module answers the question the paper's predictability claim hinges on:
+*where did a flow's completion time go?*  A 9-second download of a
+3 kB page is attributed, second by second, to the concrete admission
+waits, RTO stalls, drop-triggered recoveries and queueing delays that
+produced it — walking the recorder's cause links to name the span chain
+behind each interval.
+
+Attribution model
+-----------------
+Each non-``pkt`` span of a flow contributes a *claim* on an interval of
+the flow's lifetime with a category:
+
+- ``admission`` — a ``syn_wait`` whose SYN was refused by TAQ admission
+  control (the paper's retry-until-admitted penalty);
+- ``syn_loss``  — a ``syn_wait`` whose SYN was lost to congestion;
+- ``rto``       — an RTO span: the silent stall from the flow's last
+  activity to the timer firing;
+- ``drop``      — the window from a dropped packet to the fast
+  retransmit it triggered (detected via the ``fast_rtx`` cause link);
+- ``queueing``  — a packet's enq → tx wait inside a link buffer.
+
+Claims overlap (a drop's recovery window contains queueing waits; an
+RTO stall may cover a drop).  The flow's ``[t0, t1]`` extent is swept
+once and every instant is charged to the highest-priority claim
+covering it — admission > rto > drop > syn_loss > queueing — so the
+category seconds are disjoint, sum to ≤ the sojourn, and the residual
+is genuine transfer time.  ``penalty`` spans are instants: they join
+the contributor chain but claim no time themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "CriticalPath",
+    "critical_path",
+    "flow_table",
+    "render_critical_path",
+    "render_flow_table",
+    "render_timeline",
+    "spans_by_flow",
+]
+
+#: Sweep priority: earlier wins where claims overlap.
+CATEGORY_PRIORITY = ("admission", "rto", "drop", "syn_loss", "queueing")
+
+
+def spans_by_flow(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    """Group spans by flow id (flow -1 / ``run`` spans excluded)."""
+    grouped: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.flow_id == -1:
+            continue
+        grouped.setdefault(span.flow_id, []).append(span)
+    return grouped
+
+
+def _flow_span(flow_spans: List[Span]) -> Optional[Span]:
+    for span in flow_spans:
+        if span.kind == "flow":
+            return span
+    return None
+
+
+def _claims(flow_spans: List[Span], t0: float, t1: float
+            ) -> List[Tuple[float, float, str, Span]]:
+    """Elementary ``(start, end, category, span)`` claims, clipped to
+    the flow extent."""
+    claims: List[Tuple[float, float, str, Span]] = []
+
+    def add(start: float, end: float, category: str, span: Span) -> None:
+        start, end = max(start, t0), min(end, t1)
+        if end > start:
+            claims.append((start, end, category, span))
+
+    index = {span.id: span for span in flow_spans}
+    for span in flow_spans:
+        if span.t1 is None and span.kind != "flow":
+            continue
+        if span.kind == "syn_wait":
+            category = "admission" if span.fields.get("refused") else "syn_loss"
+            add(span.t0, span.t1, category, span)
+        elif span.kind == "rto":
+            add(span.t0, span.t1, "rto", span)
+        elif span.kind == "fast_rtx":
+            cause = index.get(span.cause)
+            if cause is not None and cause.t1 is not None:
+                # The loss-detection window: drop to the retransmit it
+                # forced.
+                add(cause.t1, span.t1, "drop", span)
+        elif span.kind == "pkt":
+            # Queueing waits: each enq -> tx stage pair on a link.
+            stages = span.stages or []
+            pending: Dict[str, float] = {}
+            for stage in stages:
+                name, time = stage[0], stage[1]
+                where = stage[2] if len(stage) > 2 else ""
+                if name == "enq":
+                    pending[where] = time
+                elif name == "tx" and where in pending:
+                    add(pending.pop(where), time, "queueing", span)
+    return claims
+
+
+class CriticalPath:
+    """Where one flow's completion time went."""
+
+    def __init__(self, flow_id: int, t0: float, t1: float,
+                 by_category: Dict[str, float],
+                 contributors: List[Tuple[str, float, float, Span]],
+                 penalties: List[Span]) -> None:
+        self.flow_id = flow_id
+        self.t0 = t0
+        self.t1 = t1
+        self.by_category = by_category
+        #: ``(category, start, end, span)`` segments, time order.
+        self.contributors = contributors
+        self.penalties = penalties
+
+    @property
+    def sojourn(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def transfer(self) -> float:
+        return max(0.0, self.sojourn - sum(self.by_category.values()))
+
+    def attributed_fraction(self, categories: Iterable[str] = CATEGORY_PRIORITY
+                            ) -> float:
+        """Fraction of the sojourn charged to *categories*."""
+        if self.sojourn <= 0:
+            return 0.0
+        return sum(self.by_category.get(c, 0.0) for c in categories) / self.sojourn
+
+
+def critical_path(spans: Iterable[Span], flow_id: int) -> Optional[CriticalPath]:
+    """Attribute flow *flow_id*'s sojourn across cause categories, or
+    None when the trace holds no closed flow span for it."""
+    grouped = spans_by_flow(spans)
+    flow_spans = grouped.get(flow_id)
+    if not flow_spans:
+        return None
+    flow = _flow_span(flow_spans)
+    if flow is None or flow.t1 is None:
+        return None
+    t0, t1 = flow.t0, flow.t1
+    claims = _claims(flow_spans, t0, t1)
+
+    # Priority sweep: split time on every claim boundary, charge each
+    # elementary segment to its highest-priority covering claim.
+    boundaries = sorted({t0, t1, *(c[0] for c in claims), *(c[1] for c in claims)})
+    rank = {category: i for i, category in enumerate(CATEGORY_PRIORITY)}
+    by_category: Dict[str, float] = {}
+    contributors: List[Tuple[str, float, float, Span]] = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        covering = [c for c in claims if c[0] <= start and c[1] >= end]
+        if not covering:
+            continue
+        best = min(covering, key=lambda c: (rank[c[2]], c[3].id))
+        category, span = best[2], best[3]
+        by_category[category] = by_category.get(category, 0.0) + (end - start)
+        if contributors and contributors[-1][3] is span \
+                and contributors[-1][2] == start:
+            previous = contributors[-1]
+            contributors[-1] = (previous[0], previous[1], end, span)
+        else:
+            contributors.append((category, start, end, span))
+    penalties = [s for s in flow_spans if s.kind == "penalty"]
+    return CriticalPath(flow_id, t0, t1, by_category, contributors, penalties)
+
+
+# ----------------------------------------------------------------------
+# Flow listing
+# ----------------------------------------------------------------------
+def flow_table(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Per-flow rows (sojourn, span counts), slowest first — the entry
+    point for finding the hung flow worth explaining."""
+    rows: List[Dict[str, Any]] = []
+    for flow_id, flow_spans in spans_by_flow(spans).items():
+        flow = _flow_span(flow_spans)
+        if flow is None:
+            continue
+        counts: Dict[str, int] = {}
+        for span in flow_spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        rows.append({
+            "flow": flow_id,
+            "start": flow.t0,
+            "sojourn": flow.duration if flow.t1 is not None else None,
+            "done": flow.t1 is not None,
+            "pkts": counts.get("pkt", 0),
+            "rtos": counts.get("rto", 0),
+            "syn_waits": counts.get("syn_wait", 0),
+            "penalties": counts.get("penalty", 0),
+        })
+    rows.sort(key=lambda row: (-(row["sojourn"] or float("inf")), row["flow"]))
+    return rows
+
+
+def worst_flow(spans: Iterable[Span]) -> Optional[int]:
+    """The completed flow with the longest sojourn (None if no flow
+    completed in the trace)."""
+    for row in flow_table(spans):
+        if row["done"]:
+            return row["flow"]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _span_label(span: Span) -> str:
+    if span.kind == "pkt":
+        tag = "R" if span.fields.get("rtx") else ""
+        seq = span.fields.get("seq")
+        where = f" seq={seq}" if seq is not None else ""
+        return f"{span.fields.get('pkt', 'pkt')}{tag}{where}"
+    if span.kind == "rto":
+        return f"rto backoff={span.fields.get('backoff')} stall={span.fields.get('stall', 0.0):.3f}s"
+    if span.kind == "syn_wait":
+        kind = "refused" if span.fields.get("refused") else "lost"
+        return f"syn_wait #{span.fields.get('attempt')} ({kind})"
+    if span.kind == "penalty":
+        return f"penalty recent_drops={span.fields.get('recent_drops')}"
+    if span.kind == "fast_rtx":
+        return f"fast_rtx seq={span.fields.get('seq')}"
+    return span.kind
+
+
+def render_timeline(spans: Iterable[Span], flow_id: int, width: int = 64) -> str:
+    """A text waterfall of one flow's spans, time order."""
+    grouped = spans_by_flow(spans)
+    flow_spans = grouped.get(flow_id)
+    if not flow_spans:
+        return f"flow {flow_id}: no spans recorded"
+    flow = _flow_span(flow_spans)
+    t0 = flow.t0 if flow is not None else min(s.t0 for s in flow_spans)
+    t1 = flow.t1 if flow is not None and flow.t1 is not None else max(
+        (s.t1 if s.t1 is not None else s.t0) for s in flow_spans
+    )
+    extent = max(t1 - t0, 1e-9)
+    lines = [
+        f"flow {flow_id}  t0={t0:.4f}s  t1={t1:.4f}s  sojourn={t1 - t0:.4f}s",
+        f"{'time':>10} {'dur':>9}  {'span':<34} waterfall",
+    ]
+    ordered = sorted(flow_spans, key=lambda s: (s.t0, s.id))
+    for span in ordered:
+        if span.kind == "flow":
+            continue
+        end = span.t1 if span.t1 is not None else span.t0
+        left = int((span.t0 - t0) / extent * (width - 1))
+        bar_len = max(1, int((end - span.t0) / extent * width))
+        bar = " " * min(left, width - 1) + "#" * min(bar_len, width - min(left, width - 1))
+        duration = f"{end - span.t0:9.4f}" if span.t1 is not None else "     open"
+        lines.append(
+            f"{span.t0 - t0:10.4f} {duration}  {_span_label(span):<34} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_critical_path(path: CriticalPath) -> str:
+    """Text attribution report for one flow."""
+    lines = [
+        f"flow {path.flow_id}  sojourn={path.sojourn:.4f}s "
+        f"({path.t0:.4f}s .. {path.t1:.4f}s)",
+        "",
+        "where the time went:",
+    ]
+    entries = sorted(path.by_category.items(), key=lambda kv: -kv[1])
+    entries.append(("transfer", path.transfer))
+    for category, seconds in entries:
+        if seconds <= 0:
+            continue
+        fraction = seconds / path.sojourn if path.sojourn > 0 else 0.0
+        bar = "#" * max(1, int(round(fraction * 40)))
+        lines.append(f"  {category:<10} {seconds:9.4f}s {fraction * 100:5.1f}%  {bar}")
+    attributed = path.attributed_fraction()
+    lines.append("")
+    lines.append(f"attributed to causes: {attributed * 100:.1f}% "
+                 f"(transfer residual {path.transfer:.4f}s)")
+    if path.contributors:
+        lines.append("")
+        lines.append("contributor chain:")
+        for category, start, end, span in path.contributors:
+            lines.append(
+                f"  {start - path.t0:9.4f}s +{end - start:8.4f}s "
+                f"{category:<10} {_span_label(span)}"
+            )
+    if path.penalties:
+        lines.append("")
+        lines.append(f"penalty-box classifications: {len(path.penalties)}")
+    return "\n".join(lines)
+
+
+def render_flow_table(spans: Iterable[Span], top: int = 20) -> str:
+    rows = flow_table(spans)
+    lines = [
+        f"{len(rows)} flows traced (slowest first)",
+        f"{'flow':>6} {'start':>9} {'sojourn':>9} {'done':>5} "
+        f"{'pkts':>6} {'rtos':>5} {'synw':>5} {'pen':>4}",
+    ]
+    for row in rows[:top]:
+        sojourn = f"{row['sojourn']:9.4f}" if row["sojourn"] is not None else "     open"
+        lines.append(
+            f"{row['flow']:>6} {row['start']:9.3f} {sojourn} "
+            f"{'yes' if row['done'] else 'no':>5} {row['pkts']:>6} "
+            f"{row['rtos']:>5} {row['syn_waits']:>5} {row['penalties']:>4}"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more")
+    return "\n".join(lines)

@@ -105,38 +105,88 @@ def render_telemetry_report(telemetry: Telemetry, top_n: int = 10) -> str:
     )
 
 
-def render_run_report(bundle_dir: str, top_n: int = 10) -> str:
-    """Report for a bundle directory written by :meth:`Telemetry.finalize`."""
-    manifest_line = ""
+def _load_bundle(bundle_dir: str):
+    """(manifest | None, trace summary, gauge series) for a bundle dir."""
+    manifest = None
     manifest_path = os.path.join(bundle_dir, MANIFEST_NAME)
     if os.path.exists(manifest_path):
-        m = load_manifest(manifest_path)
-        manifest_line = (
-            f"run {m.run_id}: seed={m.seed} duration={m.duration:g}s "
-            f"events={m.event_count} source={m.source_hash[:12]}"
-        )
+        manifest = load_manifest(manifest_path)
+    trace: Dict[str, Any] = {}
     events_path = os.path.join(bundle_dir, EVENTS_NAME)
-    summary: Dict[str, Any] = {"trace": {}}
     if os.path.exists(events_path):
         with open(events_path, "r", encoding="utf-8") as handle:
-            summary["trace"] = summarize_events(load_events(handle))
+            trace = summarize_events(load_events(handle))
     series: Dict[str, List[Tuple[float, float]]] = {}
     metrics_path = os.path.join(bundle_dir, METRICS_NAME)
     if os.path.exists(metrics_path):
         series = load_metrics_jsonl(metrics_path)["series"]
-    return render_report(summary, series=series, manifest_line=manifest_line, top_n=top_n)
+    return manifest, trace, series
+
+
+def render_run_report(bundle_dir: str, top_n: int = 10) -> str:
+    """Report for a bundle directory written by :meth:`Telemetry.finalize`."""
+    manifest, trace, series = _load_bundle(bundle_dir)
+    manifest_line = ""
+    if manifest is not None:
+        manifest_line = (
+            f"run {manifest.run_id}: seed={manifest.seed} "
+            f"duration={manifest.duration:g}s "
+            f"events={manifest.event_count} source={manifest.source_hash[:12]}"
+        )
+    return render_report(
+        {"trace": trace}, series=series, manifest_line=manifest_line, top_n=top_n
+    )
+
+
+def run_report_payload(bundle_dir: str, top_n: int = 10) -> Dict[str, Any]:
+    """Machine-readable counterpart of :func:`render_run_report` — the
+    same bundle contents as one JSON-serializable document (``--format
+    json``): manifest provenance, trace summary with top-N per-flow
+    tables, and percentile stats for every recorded gauge series."""
+    manifest, trace, series = _load_bundle(bundle_dir)
+    payload: Dict[str, Any] = {"bundle": bundle_dir}
+    if manifest is not None:
+        payload["manifest"] = {
+            "run_id": manifest.run_id,
+            "seed": manifest.seed,
+            "duration": manifest.duration,
+            "event_count": manifest.event_count,
+            "source_hash": manifest.source_hash,
+            "schema_version": manifest.schema_version,
+        }
+    payload["trace"] = {
+        "events": trace.get("events", {}),
+        "truncated": bool(trace.get("truncated", False)),
+        "top_droppers": _top(trace.get("drops_by_flow", {}), top_n),
+        "top_rto": _top(trace.get("rto_by_flow", {}), top_n),
+    }
+    payload["series"] = {
+        name: _series_percentiles(samples)
+        for name, samples in sorted(series.items())
+        if samples
+    }
+    return payload
 
 
 def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
-        description="Render a text report for a telemetry bundle directory."
+        description="Render a report for a telemetry bundle directory."
     )
     parser.add_argument("bundle_dir", help="directory holding manifest/metrics/events")
     parser.add_argument("--top", type=int, default=10, help="rows in the top-N charts")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text tables (default) or a machine-readable JSON document",
+    )
     args = parser.parse_args(argv)
-    print(render_run_report(args.bundle_dir, top_n=args.top))
+    if args.format == "json":
+        print(json.dumps(run_report_payload(args.bundle_dir, top_n=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_run_report(args.bundle_dir, top_n=args.top))
     return 0
 
 

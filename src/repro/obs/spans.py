@@ -1,0 +1,570 @@
+"""Causal packet-lifecycle spans: the simulation's flight recorder.
+
+Where :mod:`repro.obs.trace` records isolated *decisions* (one JSON
+line per drop or RTO), this records *spans with cause links* — enough
+structure to answer "why did flow 117 hang for 9 seconds?" by walking
+from its completion back through the drops, RTO backoff stages and
+admission refusals that produced the wait.
+
+Span kinds
+----------
+``flow``
+    One per connection: opens at the first SYN transmission, closes at
+    completion.  Every other span of the flow carries its id as
+    ``parent``.
+``pkt``
+    One per packet the armed components see.  Carries an ordered
+    ``stages`` list — ``created`` (sender transmit), ``enq``/``tx``
+    (per link, with the link name), ``hop`` (delivered into a chained
+    link), ``deliv`` or ``drop`` — and closes with an ``outcome``.
+    Retransmissions carry a ``cause`` link to the span that provoked
+    them: the dropped packet's span when the recorder saw the drop,
+    else the active recovery trigger (``rto`` / ``fast_rtx``).
+``rto``
+    One per retransmission timeout.  ``t0`` is the start of the silence
+    (the flow's last observed packet activity), ``t1`` the firing time;
+    ``stall`` is their difference, ``backoff`` the exponent — the
+    paper's repetitive-timeout ladder, span by span.
+``fast_rtx``
+    Instant span at a 3-dupACK fast retransmit; ``cause`` links to the
+    detected drop when known.
+``syn_wait``
+    One per SYN retry: the wait between a SYN that went unanswered and
+    its retry.  ``refused=true`` when TAQ admission control refused the
+    SYN (the paper's retry-until-admitted penalty); otherwise the SYN
+    was lost to congestion.
+``penalty``
+    Instant span when TAQ classifies a packet OVER_PENALIZED, with a
+    cause link to the flow's latest drop.
+``run``
+    One per ``Simulator.run`` call (timeline bounds).
+
+Arming follows the repo's ``probe = None`` slot convention (PRs 2/4/5):
+components carry a ``spans`` attribute defaulting to ``None`` and every
+hook site reads ``if self.spans is not None``, so a disarmed run
+executes exactly the pre-instrumentation code path and stays
+bit-identical.  Arm explicitly with :func:`arm_spans`, or ambiently::
+
+    with recording() as recorder:
+        built = build_simulation(spec)   # links/queues/sim armed here
+        built.run()                      # flows arm themselves on spawn
+    save_spans(recorder.spans, handle)
+
+The on-disk format is schema-versioned JSON lines (one span per line,
+meta header first).  Readers tolerate pre-schema files (no header) and
+unknown kinds/fields, and refuse files newer than they understand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+#: Bump when the span layout changes incompatibly.
+SPANS_SCHEMA_VERSION = 1
+
+SPAN_KINDS = (
+    "flow", "pkt", "rto", "fast_rtx", "syn_wait", "penalty", "run",
+)
+
+__all__ = [
+    "SPANS_SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "Span",
+    "SpanRecorder",
+    "active_recorder",
+    "arm_spans",
+    "load_spans",
+    "recording",
+    "save_spans",
+]
+
+
+class Span:
+    """One span: a (possibly still open) interval with causal links.
+
+    ``parent`` points at the owning ``flow`` span; ``cause`` at the
+    span that provoked this one (drop -> retransmission, refusal ->
+    syn_wait, ...).  Both are span ids, -1 when absent.  ``t1`` is None
+    while the span is open.  ``stages`` is only used by ``pkt`` spans.
+    """
+
+    __slots__ = ("id", "kind", "flow_id", "t0", "t1", "parent", "cause",
+                 "stages", "fields")
+
+    def __init__(
+        self,
+        span_id: int,
+        kind: str,
+        flow_id: int = -1,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+        parent: int = -1,
+        cause: int = -1,
+        stages: Optional[List[List[Any]]] = None,
+        **fields: Any,
+    ) -> None:
+        self.id = span_id
+        self.kind = kind
+        self.flow_id = flow_id
+        self.t0 = t0
+        self.t1 = t1
+        self.parent = parent
+        self.cause = cause
+        self.stages = stages
+        self.fields = fields
+
+    @property
+    def duration(self) -> float:
+        """Closed extent (0.0 while the span is still open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    def stage(self, name: str, time: float, where: Optional[str] = None) -> None:
+        """Append one lifecycle stage (``pkt`` spans)."""
+        if self.stages is None:
+            self.stages = []
+        entry: List[Any] = [name, time]
+        if where is not None:
+            entry.append(where)
+        self.stages.append(entry)
+
+    def close(self, time: float, outcome: Optional[str] = None) -> None:
+        self.t1 = time
+        if outcome is not None:
+            self.fields["outcome"] = outcome
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {"id": self.id, "kind": self.kind, "t0": self.t0}
+        if self.t1 is not None:
+            payload["t1"] = self.t1
+        if self.flow_id != -1:
+            payload["flow"] = self.flow_id
+        if self.parent != -1:
+            payload["parent"] = self.parent
+        if self.cause != -1:
+            payload["cause"] = self.cause
+        if self.stages is not None:
+            payload["stages"] = self.stages
+        for key in sorted(self.fields):
+            payload[key] = self.fields[key]
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            payload.pop("id"),
+            payload.pop("kind"),
+            flow_id=payload.pop("flow", -1),
+            t0=payload.pop("t0", 0.0),
+            t1=payload.pop("t1", None),
+            parent=payload.pop("parent", -1),
+            cause=payload.pop("cause", -1),
+            stages=payload.pop("stages", None),
+            **payload,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "open" if self.t1 is None else f"{self.t1:.4f}"
+        return f"<Span #{self.id} {self.kind} flow={self.flow_id} {self.t0:.4f}..{end}>"
+
+
+class SpanRecorder:
+    """The flight recorder: builds spans from component hook calls.
+
+    Bounded memory: at most ``limit`` spans are created (``truncated``
+    is set past it); stage appends on already-created spans continue,
+    so truncation never leaves a packet's lifecycle half-recorded.
+
+    ``stream`` is an optional
+    :class:`repro.obs.streamstats.StreamingFlowStats`: the recorder
+    feeds it queueing delays (enqueue -> tx start), per-flow delivery
+    gaps (hang times) and flow sojourns as they happen, so percentile
+    summaries are available even on runs whose span cap was hit.
+    """
+
+    def __init__(self, limit: int = 1_000_000, stream=None) -> None:
+        self.limit = limit
+        self.spans: List[Span] = []
+        self.truncated = False
+        self.stream = stream
+        self._next_id = 0
+        self._flow_spans: Dict[int, Span] = {}
+        self._pkt_spans: Dict[int, Span] = {}
+        #: flow -> time of the flow's last observed packet activity
+        #: (send, delivery or drop); the left edge of an RTO stall.
+        self._last_activity: Dict[int, float] = {}
+        #: flow -> span id of the active recovery trigger (rto/fast_rtx).
+        self._recovery: Dict[int, int] = {}
+        #: (flow, seq) -> span id of the latest drop of that segment.
+        self._last_drop: Dict[Any, int] = {}
+        #: flow -> span id of the flow's latest drop (any segment).
+        self._last_flow_drop: Dict[int, int] = {}
+        #: flow -> span id of the last SYN packet span.
+        self._last_syn: Dict[int, int] = {}
+        #: flow -> time of the last in-order data delivery (hang gaps).
+        self._last_delivery: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Span construction
+    # ------------------------------------------------------------------
+    def _new_span(self, kind: str, flow_id: int, t0: float, **fields: Any
+                  ) -> Optional[Span]:
+        if len(self.spans) >= self.limit:
+            self.truncated = True
+            return None
+        span = Span(self._next_id, kind, flow_id=flow_id, t0=t0, **fields)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def _flow_span(self, flow_id: int, now: float) -> Optional[Span]:
+        span = self._flow_spans.get(flow_id)
+        if span is None:
+            span = self._new_span("flow", flow_id, now)
+            if span is not None:
+                self._flow_spans[flow_id] = span
+        return span
+
+    def _pkt_for(self, packet, now: float) -> Optional[Span]:
+        """The packet's span, created lazily on first contact (packets
+        not born under a sender hook — ACKs, receiver traffic — enter
+        the record at their first armed link)."""
+        span = self._pkt_spans.get(packet.span_id)
+        if span is not None:
+            return span
+        flow = self._flow_span(packet.flow_id, now)
+        span = self._new_span(
+            "pkt", packet.flow_id, now,
+            parent=flow.id if flow is not None else -1,
+            pkt=packet.kind,
+        )
+        if span is None:
+            return None
+        if packet.seq >= 0:
+            span.fields["seq"] = packet.seq
+        packet.span_id = span.id
+        self._pkt_spans[span.id] = span
+        return span
+
+    # ------------------------------------------------------------------
+    # Sender hooks (TCPSender.spans)
+    # ------------------------------------------------------------------
+    def on_packet_sent(self, packet, now: float) -> None:
+        """A sender put *packet* on the data path (SYN, DATA, FIN)."""
+        flow_id = packet.flow_id
+        flow = self._flow_span(flow_id, now)
+        cause = -1
+        if packet.is_retransmit:
+            cause = self._last_drop.get((flow_id, packet.seq), -1)
+            if cause == -1:
+                cause = self._recovery.get(flow_id, -1)
+        span = self._new_span(
+            "pkt", flow_id, now,
+            parent=flow.id if flow is not None else -1,
+            cause=cause,
+            pkt=packet.kind,
+        )
+        self._last_activity[flow_id] = now
+        if span is None:
+            return
+        if packet.seq >= 0:
+            span.fields["seq"] = packet.seq
+        if packet.is_retransmit:
+            span.fields["rtx"] = True
+        span.stage("created", now)
+        packet.span_id = span.id
+        self._pkt_spans[span.id] = span
+        if packet.kind == "syn":
+            self._last_syn[flow_id] = span.id
+
+    def on_syn_retry(self, flow_id: int, now: float, attempt: int,
+                     waited: float) -> None:
+        """A SYN went unanswered for *waited* seconds and was re-sent."""
+        flow = self._flow_span(flow_id, now)
+        cause = self._last_syn.get(flow_id, -1)
+        refused = False
+        if cause != -1:
+            prior = self._pkt_spans.get(cause)
+            refused = bool(prior is not None and prior.fields.get("refused"))
+        span = self._new_span(
+            "syn_wait", flow_id, now - waited,
+            parent=flow.id if flow is not None else -1,
+            cause=cause,
+            attempt=attempt,
+        )
+        if span is not None:
+            span.close(now)
+            if refused:
+                span.fields["refused"] = True
+
+    def on_rto(self, flow_id: int, now: float, backoff: int, rto: float,
+               seq: int = -1) -> None:
+        """A retransmission timeout fired; the stall spans the silence
+        since the flow's last packet activity."""
+        idle_since = self._last_activity.get(flow_id, now)
+        flow = self._flow_span(flow_id, now)
+        cause = self._last_drop.get((flow_id, seq), -1)
+        if cause == -1:
+            cause = self._last_flow_drop.get(flow_id, -1)
+        span = self._new_span(
+            "rto", flow_id, idle_since,
+            parent=flow.id if flow is not None else -1,
+            cause=cause,
+            backoff=backoff,
+            rto=rto,
+            stall=now - idle_since,
+        )
+        if span is not None:
+            span.close(now)
+            self._recovery[flow_id] = span.id
+
+    def on_fast_retransmit(self, flow_id: int, now: float, seq: int = -1) -> None:
+        flow = self._flow_span(flow_id, now)
+        cause = self._last_drop.get((flow_id, seq), -1)
+        if cause == -1:
+            cause = self._last_flow_drop.get(flow_id, -1)
+        span = self._new_span(
+            "fast_rtx", flow_id, now,
+            parent=flow.id if flow is not None else -1,
+            cause=cause,
+            seq=seq,
+        )
+        if span is not None:
+            span.close(now)
+            self._recovery[flow_id] = span.id
+
+    def on_established(self, flow_id: int, now: float) -> None:
+        flow = self._flow_span(flow_id, now)
+        if flow is not None:
+            flow.fields["established"] = now
+
+    def on_flow_done(self, flow_id: int, now: float) -> None:
+        flow = self._flow_span(flow_id, now)
+        if flow is not None:
+            flow.close(now, outcome="done")
+            if self.stream is not None:
+                self.stream.observe_sojourn(flow_id, now - flow.t0)
+        # Per-flow working state is finished with; drop it so long
+        # session workloads (thousands of short flows) stay bounded by
+        # live flows, not total flows.
+        self._recovery.pop(flow_id, None)
+        self._last_syn.pop(flow_id, None)
+        self._last_delivery.pop(flow_id, None)
+        self._last_activity.pop(flow_id, None)
+        self._last_flow_drop.pop(flow_id, None)
+
+    # ------------------------------------------------------------------
+    # Link hooks (Link.spans)
+    # ------------------------------------------------------------------
+    def on_enqueue(self, packet, now: float, link: str) -> None:
+        span = self._pkt_for(packet, now)
+        if span is not None:
+            span.stage("enq", now, link)
+
+    def on_tx_start(self, packet, now: float, link: str) -> None:
+        span = self._pkt_for(packet, now)
+        if span is not None:
+            span.stage("tx", now, link)
+        if self.stream is not None:
+            self.stream.observe_queue_delay(
+                packet.flow_id, now - packet.enqueued_at
+            )
+
+    def on_delivered(self, packet, now: float, last: bool) -> None:
+        span = self._pkt_for(packet, now)
+        if span is not None:
+            span.stage("deliv" if last else "hop", now)
+            if last:
+                span.close(now, outcome="delivered")
+        if last:
+            flow_id = packet.flow_id
+            self._last_activity[flow_id] = now
+            if packet.kind == "data" and self.stream is not None:
+                previous = self._last_delivery.get(flow_id)
+                if previous is not None:
+                    self.stream.observe_hang(flow_id, now - previous)
+                self._last_delivery[flow_id] = now
+
+    # ------------------------------------------------------------------
+    # Queue hooks (QueueDiscipline.spans / TAQQueue.spans)
+    # ------------------------------------------------------------------
+    def on_drop(self, packet, now: float) -> None:
+        """The queue rejected or evicted *packet* (all disciplines)."""
+        span = self._pkt_for(packet, now)
+        flow_id = packet.flow_id
+        self._last_activity[flow_id] = now
+        if span is None:
+            return
+        span.stage("drop", now)
+        span.close(now, outcome="dropped")
+        self._last_drop[(flow_id, packet.seq)] = span.id
+        self._last_flow_drop[flow_id] = span.id
+
+    def on_admission_refused(self, packet, now: float) -> None:
+        """TAQ admission control refused this SYN (the drop hook fires
+        right after; the flag is what tells a syn_wait from congestion
+        loss)."""
+        span = self._pkt_for(packet, now)
+        if span is not None:
+            span.fields["refused"] = True
+
+    def on_penalized(self, packet, now: float, recent_drops: int) -> None:
+        flow = self._flow_span(packet.flow_id, now)
+        span = self._new_span(
+            "penalty", packet.flow_id, now,
+            parent=flow.id if flow is not None else -1,
+            cause=self._last_flow_drop.get(packet.flow_id, -1),
+            recent_drops=recent_drops,
+        )
+        if span is not None:
+            span.close(now)
+
+    def on_evicted(self, evicted, by_packet, now: float) -> None:
+        """TAQ pushed *evicted* out to admit *by_packet* (the drop hook
+        follows and closes the span)."""
+        span = self._pkt_for(evicted, now)
+        if span is not None:
+            span.fields["evicted_by"] = by_packet.flow_id
+
+    # ------------------------------------------------------------------
+    # Simulator hooks (Simulator.spans)
+    # ------------------------------------------------------------------
+    def on_run_start(self, now: float) -> Optional[Span]:
+        return self._new_span("run", -1, now)
+
+    def on_run_end(self, span: Optional[Span], now: float) -> None:
+        if span is not None:
+            span.close(now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "spans": len(self.spans),
+            "by_kind": self.counts_by_kind(),
+            "truncated": self.truncated,
+        }
+        if self.stream is not None:
+            out["stream"] = self.stream.summary()
+        return out
+
+
+# ----------------------------------------------------------------------
+# Persistence (schema-versioned JSONL, like repro.obs.trace)
+# ----------------------------------------------------------------------
+def save_spans(spans: Iterable[Span], handle: TextIO) -> int:
+    """Write *spans* as schema-versioned JSONL; returns spans written."""
+    handle.write(
+        json.dumps(
+            {"type": "meta", "schema": "repro.obs.spans",
+             "version": SPANS_SCHEMA_VERSION},
+            separators=(",", ":"),
+        )
+    )
+    handle.write("\n")
+    count = 0
+    for span in spans:
+        handle.write(span.to_json())
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def load_spans(handle: TextIO) -> List[Span]:
+    """Read a span file written by :func:`save_spans`.
+
+    Back-compat contract: a missing meta header (pre-schema file) is
+    tolerated, unknown span kinds and extra fields ride through
+    untouched, and a file declaring a schema version newer than this
+    reader raises.
+    """
+    spans: List[Span] = []
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if payload.get("type") == "meta":
+            if payload.get("schema") != "repro.obs.spans":
+                raise ValueError(f"not a span trace: {payload!r}")
+            version = payload.get("version")
+            if version is not None and version > SPANS_SCHEMA_VERSION:
+                raise ValueError(
+                    f"span schema v{version} is newer than supported "
+                    f"v{SPANS_SCHEMA_VERSION}"
+                )
+            continue
+        spans.append(Span.from_payload(payload))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Arming
+# ----------------------------------------------------------------------
+#: Topology attributes that may hold links (mirrors repro.perf.probe).
+_TOPOLOGY_LINKS = ("forward", "reverse", "underlay", "underlay_reverse", "overlay")
+
+
+def arm_spans(recorder: SpanRecorder, built: Any) -> None:
+    """Arm *recorder* across one :class:`repro.build.BuiltScenario`:
+    simulator, bottleneck queue, every topology link, and the senders of
+    all flows spawned so far.  Flows created *during* the run (web
+    sessions) arm themselves when an ambient recorder is active — see
+    :func:`recording`."""
+    built.sim.spans = recorder
+    built.queue.spans = recorder
+    seen = set()
+    for attr in _TOPOLOGY_LINKS:
+        link = getattr(built.topology, attr, None)
+        if link is not None and id(link) not in seen and hasattr(link, "queue"):
+            seen.add(id(link))
+            link.spans = recorder
+            if link.queue is not None:
+                link.queue.spans = recorder
+    for flow in built.all_flows():
+        flow.sender.spans = recorder
+
+
+_ACTIVE: Optional[SpanRecorder] = None
+
+
+def active_recorder() -> Optional[SpanRecorder]:
+    """The recorder armed by the innermost :func:`recording`, or None."""
+    return _ACTIVE
+
+
+class _Recording:
+    """Context manager making one recorder ambient (see :func:`recording`)."""
+
+    __slots__ = ("recorder", "_previous")
+
+    def __init__(self, recorder: Optional[SpanRecorder]) -> None:
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        self._previous: Optional[SpanRecorder] = None
+
+    def __enter__(self) -> SpanRecorder:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.recorder
+        return self.recorder
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def recording(recorder: Optional[SpanRecorder] = None) -> _Recording:
+    """``with recording() as recorder:`` — every simulation built inside
+    the block (via :func:`repro.build.build_simulation`) records spans
+    into *recorder*, including flows spawned mid-run."""
+    return _Recording(recorder)

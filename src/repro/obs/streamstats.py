@@ -1,0 +1,213 @@
+"""Bounded-memory streaming percentiles for per-flow timing metrics.
+
+The span recorder can cap out on long runs (it keeps whole spans); this
+module is the always-on counterpart: fixed-size log-spaced histograms
+that absorb any number of observations in O(1) memory each and answer
+percentile queries deterministically — the same inputs in the same
+order always produce the same summary, bit for bit, because the
+histogram does exact integer counting plus float sums (no sampling, no
+randomized sketches).
+
+Three per-flow metrics, matching the paper's predictability story:
+
+``queue_delay``
+    Time from a packet's acceptance into a link queue to the start of
+    its serialization (observed at every armed link).
+``hang``
+    Gap between consecutive in-order data deliveries of a flow — the
+    paper's Fig 12 hang time is the max of these over a download.
+``sojourn``
+    Whole-flow duration, SYN to completion.
+
+:class:`StreamingFlowStats` keeps one histogram triple per flow up to
+``max_flows`` distinct flows; beyond that, new flows fold into a shared
+overflow bucket (so memory is bounded by ``max_flows``, not by the
+workload), and global histograms always aggregate everything.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LogHistogram", "FlowTimings", "StreamingFlowStats"]
+
+
+class LogHistogram:
+    """Fixed-bin histogram over log-spaced edges.
+
+    ``lo`` is the smallest resolvable value (everything below lands in
+    the first bin); ``bins_per_decade`` fixes resolution (8/decade
+    bounds relative quantile error to ~15%); ``decades`` fixes range.
+    The default covers 100 µs to 10 ks in 64 bins.  Exact min/max/sum
+    ride along, so ``percentile(0)``/``percentile(100)`` are exact and
+    interior percentiles are clamped into ``[min, max]``.
+    """
+
+    __slots__ = ("lo", "bins_per_decade", "counts", "count", "total",
+                 "min", "max", "_log_lo")
+
+    def __init__(self, lo: float = 1e-4, bins_per_decade: int = 8,
+                 decades: int = 8) -> None:
+        self.lo = lo
+        self.bins_per_decade = bins_per_decade
+        self.counts = [0] * (bins_per_decade * decades)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._log_lo = math.log10(lo)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= self.lo:
+            index = 0
+        else:
+            index = int((math.log10(value) - self._log_lo) * self.bins_per_decade)
+            if index >= len(self.counts):
+                index = len(self.counts) - 1
+        self.counts[index] += 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold *other* (same geometry) into this histogram."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _bin_upper(self, index: int) -> float:
+        return 10.0 ** (self._log_lo + (index + 1) / self.bins_per_decade)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100), deterministic, clamped to the
+        exact observed [min, max]."""
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        if q <= 0:
+            return self.min
+        if q >= 100:
+            return self.max
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= target:
+                return min(self.max, max(self.min, self._bin_upper(index)))
+        return self.max
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class FlowTimings:
+    """One flow's (or the overflow bucket's) three metric histograms."""
+
+    __slots__ = ("queue_delay", "hang", "sojourn")
+
+    def __init__(self) -> None:
+        self.queue_delay = LogHistogram()
+        self.hang = LogHistogram()
+        self.sojourn = LogHistogram()
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name in self.__slots__:
+            hist: LogHistogram = getattr(self, name)
+            if hist.count:
+                out[name] = hist.summary()
+        return out
+
+
+class StreamingFlowStats:
+    """Online per-flow + global percentile aggregation, bounded memory.
+
+    Feed it directly, or hand it to :class:`repro.obs.spans.SpanRecorder`
+    (``SpanRecorder(stream=...)``), which calls the ``observe_*``
+    methods as the simulation runs.
+    """
+
+    OVERFLOW = -2  # distinct from the -1 "no flow" sentinel
+
+    def __init__(self, max_flows: int = 4096) -> None:
+        self.max_flows = max_flows
+        self.flows: Dict[int, FlowTimings] = {}
+        self.overflowed_flows = 0
+        self.total = FlowTimings()
+
+    def _timings(self, flow_id: int) -> FlowTimings:
+        timings = self.flows.get(flow_id)
+        if timings is None:
+            if flow_id != self.OVERFLOW and len(self.flows) >= self.max_flows:
+                self.overflowed_flows += 1
+                return self._timings(self.OVERFLOW)
+            timings = FlowTimings()
+            self.flows[flow_id] = timings
+        return timings
+
+    def observe_queue_delay(self, flow_id: int, delay: float) -> None:
+        self._timings(flow_id).queue_delay.observe(delay)
+        self.total.queue_delay.observe(delay)
+
+    def observe_hang(self, flow_id: int, gap: float) -> None:
+        self._timings(flow_id).hang.observe(gap)
+        self.total.hang.observe(gap)
+
+    def observe_sojourn(self, flow_id: int, duration: float) -> None:
+        self._timings(flow_id).sojourn.observe(duration)
+        self.total.sojourn.observe(duration)
+
+    def worst_flows(self, metric: str = "hang", top: int = 5) -> List[tuple]:
+        """``[(flow_id, max_value), ...]`` worst-first by a metric's max."""
+        ranked = []
+        for flow_id, timings in self.flows.items():
+            if flow_id == self.OVERFLOW:
+                continue
+            hist: LogHistogram = getattr(timings, metric)
+            if hist.count and hist.max is not None:
+                ranked.append((flow_id, hist.max))
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "flows": len(self.flows) - (1 if self.OVERFLOW in self.flows else 0),
+            "overflowed_flows": self.overflowed_flows,
+            "total": self.total.summary(),
+        }
+
+    def render(self) -> str:
+        """Human-readable global summary table."""
+        lines = [f"streaming stats over {self.summary()['flows']} flows"]
+        for name in ("queue_delay", "hang", "sojourn"):
+            hist: LogHistogram = getattr(self.total, name)
+            if not hist.count:
+                continue
+            s = hist.summary()
+            lines.append(
+                f"  {name:<12} n={s['count']:<8} mean={s['mean'] * 1000:8.2f}ms "
+                f"p50={s['p50'] * 1000:8.2f}ms p90={s['p90'] * 1000:8.2f}ms "
+                f"p99={s['p99'] * 1000:8.2f}ms max={s['max'] * 1000:8.2f}ms"
+            )
+        return "\n".join(lines)

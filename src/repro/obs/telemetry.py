@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 MANIFEST_NAME = "manifest.json"
 METRICS_NAME = "metrics.jsonl"
 EVENTS_NAME = "events.jsonl"
+SPANS_NAME = "spans.jsonl"
 
 
 class Telemetry:
@@ -63,6 +64,12 @@ class Telemetry:
         Gauge sampling period in sim-seconds; 0 disables the sampler.
     trace_limit:
         Hard cap on structured events kept (see :class:`EventTrace`).
+    spans:
+        Optional :class:`repro.obs.spans.SpanRecorder` to carry along:
+        finalize writes its spans as ``spans.jsonl`` next to the other
+        bundle artifacts and the summary includes its roll-up.  The
+        caller still arms the recorder on components (or uses
+        ``recording()``); Telemetry only owns persistence.
     """
 
     def __init__(
@@ -70,11 +77,13 @@ class Telemetry:
         out_dir: Optional[str] = None,
         sample_interval: float = 1.0,
         trace_limit: int = 1_000_000,
+        spans=None,
     ) -> None:
         self.out_dir = out_dir
         self.sample_interval = sample_interval
         self.registry = MetricsRegistry()
         self.trace = EventTrace(limit=trace_limit)
+        self.spans = spans
         self.sampler: Optional[Sampler] = None
         self.manifest: Optional[RunManifest] = None
         self._finalizers: List[Callable[[], None]] = []
@@ -147,6 +156,13 @@ class Telemetry:
                 os.path.join(self.out_dir, EVENTS_NAME), "w", encoding="utf-8"
             ) as handle:
                 save_events(self.trace.events, handle)
+            if self.spans is not None:
+                from repro.obs.spans import save_spans
+
+                with open(
+                    os.path.join(self.out_dir, SPANS_NAME), "w", encoding="utf-8"
+                ) as handle:
+                    save_spans(self.spans.spans, handle)
         return self.manifest
 
     # ------------------------------------------------------------------
@@ -157,6 +173,8 @@ class Telemetry:
         out = {"metrics": self.registry.summary()}
         out["trace"] = summarize_events(self.trace.events)
         out["trace"]["truncated"] = self.trace.truncated
+        if self.spans is not None:
+            out["spans"] = self.spans.summary()
         return out
 
 

@@ -1,0 +1,166 @@
+"""A per-point JSONL progress bus for live sweep telemetry.
+
+A sweep that fans out over a process pool is invisible while it runs:
+the parent's progress line only moves when a point *finishes*.  The bus
+makes the in-flight state observable.  When armed (``bus_dir`` on the
+runner, or the ``TAQ_OBS_BUS`` environment variable), the parent writes
+a sweep header and every worker appends ``start`` / ``heartbeat`` /
+``done`` events to its point's own append-only JSONL file:
+
+    bus/
+      _sweep.jsonl            {"kind": "sweep", "total": 40, ...}
+      p000-taq-load-0.4.jsonl {"kind": "start", "pid": ...}
+                              {"kind": "heartbeat", "elapsed": 5.0}
+                              {"kind": "done", "wall": 12.3}
+      p001-....jsonl          ...
+
+One writer per file and line-buffered appends keep the format safe
+without locks (heartbeats come from a daemon thread inside the worker
+that owns the file).  ``taq-obs tail BUS_DIR`` follows the directory
+and renders a live table; any other consumer can read the files with
+one ``json.loads`` per line.  The bus records progress only — results
+never pass through it — so an armed sweep stays bit-identical to an
+unarmed one.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ProgressBus", "point_key", "read_bus", "render_tail"]
+
+SWEEP_FILE = "_sweep.jsonl"
+
+#: Seconds between worker heartbeats.
+HEARTBEAT_INTERVAL = 5.0
+
+#: A point with no beat for this many intervals renders as "stalled?".
+STALL_INTERVALS = 3.0
+
+
+def point_key(index: int, label: str) -> str:
+    """Stable, filesystem-safe key for one sweep point."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")[:40] or "point"
+    return f"p{index:03d}-{slug}"
+
+
+class ProgressBus:
+    """Append-only event writer rooted at one sweep's bus directory."""
+
+    def __init__(self, bus_dir: str) -> None:
+        self.dir = Path(bus_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, key: str, kind: str, **fields: Any) -> None:
+        payload = {"t": time.time(), "kind": kind, **fields}
+        with open(self.dir / f"{key}.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def announce(self, total: int, label: str) -> None:
+        """Write the sweep header (total point count, sweep label)."""
+        self.emit(Path(SWEEP_FILE).stem, "sweep", total=total, label=label)
+
+
+class Heartbeat:
+    """Daemon-thread heartbeat a worker runs while computing one point."""
+
+    def __init__(self, bus: ProgressBus, key: str,
+                 interval: float = HEARTBEAT_INTERVAL) -> None:
+        self.bus = bus
+        self.key = key
+        self.interval = interval
+        self._stop = threading.Event()
+        self._started = time.time()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.bus.emit(self.key, "heartbeat",
+                          elapsed=time.time() - self._started)
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self.interval + 1.0)
+
+
+# ----------------------------------------------------------------------
+# Reader side (taq-obs tail)
+# ----------------------------------------------------------------------
+def read_bus(bus_dir: str) -> Dict[str, Any]:
+    """Parse a bus directory into a point-state snapshot."""
+    root = Path(bus_dir)
+    state: Dict[str, Any] = {"total": None, "label": None, "points": {}}
+    if not root.is_dir():
+        return state
+    for path in sorted(root.glob("*.jsonl")):
+        events = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    continue  # torn tail write mid-append
+        if path.name == SWEEP_FILE:
+            for event in events:
+                if event.get("kind") == "sweep":
+                    state["total"] = event.get("total")
+                    state["label"] = event.get("label")
+            continue
+        point: Dict[str, Any] = {"status": "pending", "elapsed": 0.0,
+                                 "last_seen": None, "wall": None,
+                                 "cached": False}
+        for event in events:
+            kind = event.get("kind")
+            point["last_seen"] = event.get("t")
+            if kind == "start":
+                point["status"] = "running"
+                point["started"] = event.get("t")
+                point["pid"] = event.get("pid")
+            elif kind == "heartbeat":
+                point["elapsed"] = event.get("elapsed", point["elapsed"])
+            elif kind == "done":
+                point["status"] = "cached" if event.get("cached") else "done"
+                point["wall"] = event.get("wall")
+                point["cached"] = bool(event.get("cached"))
+        state["points"][path.stem] = point
+    return state
+
+
+def render_tail(state: Dict[str, Any], now: Optional[float] = None) -> str:
+    """One live-progress frame for a bus snapshot."""
+    now = time.time() if now is None else now
+    points = state["points"]
+    total = state["total"] if state["total"] is not None else len(points)
+    finished = sum(1 for p in points.values() if p["status"] in ("done", "cached"))
+    running = sum(1 for p in points.values() if p["status"] == "running")
+    label = state["label"] or "sweep"
+    lines = [f"{label}: {finished}/{total} done, {running} running"]
+    for key, point in sorted(points.items()):
+        status = point["status"]
+        if status == "running":
+            started = point.get("started")
+            elapsed = now - started if started else point["elapsed"]
+            detail = f"running {elapsed:6.1f}s"
+            last = point["last_seen"]
+            if last is not None and now - last > STALL_INTERVALS * HEARTBEAT_INTERVAL:
+                detail += "  (stalled?)"
+        elif status in ("done", "cached"):
+            wall = point["wall"]
+            spent = f" in {wall:.1f}s" if wall is not None else ""
+            detail = f"{status}{spent}"
+        else:
+            detail = status
+        lines.append(f"  {key:<46} {detail}")
+    return "\n".join(lines)

@@ -13,9 +13,11 @@ from __future__ import annotations
 import os
 import sys
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, TextIO
 
+from repro.parallel.bus import Heartbeat, ProgressBus, point_key
 from repro.parallel.cache import ResultCache
 from repro.parallel.spec import PointResult, PointSpec
 
@@ -30,6 +32,18 @@ def _execute(spec: PointSpec):
     return value, time.perf_counter() - start
 
 
+def _execute_traced(spec: PointSpec, bus_dir: str, key: str):
+    """Worker entry point with live telemetry: same computation as
+    :func:`_execute`, bracketed by start/heartbeat/done events on the
+    sweep's progress bus (``taq-obs tail`` follows them)."""
+    bus = ProgressBus(bus_dir)
+    bus.emit(key, "start", pid=os.getpid(), label=spec.describe())
+    with Heartbeat(bus, key):
+        value, wall_time = _execute(spec)
+    bus.emit(key, "done", wall=wall_time)
+    return value, wall_time
+
+
 class ProgressPrinter:
     """Per-point progress lines with a completion ETA.
 
@@ -41,23 +55,47 @@ class ProgressPrinter:
     summary that keeps cold-run compute time and cache-hit lookup time
     in separate columns, so a mostly-cached sweep never reads as if the
     computation itself got faster.
+
+    The ETA is a rolling average over the last :attr:`ETA_WINDOW`
+    completions rather than the whole-sweep mean: a sweep that opens
+    with a burst of instant cache hits and then settles into cold
+    points would otherwise promise an absurdly early finish for its
+    entire duration.
     """
+
+    #: Completions the rolling-average ETA looks back over.
+    ETA_WINDOW = 8
 
     def __init__(self, label: str = "points", stream: Optional[TextIO] = None) -> None:
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self._start: Optional[float] = None
+        self._finish_times: deque = deque(maxlen=self.ETA_WINDOW + 1)
         self.computed = 0
         self.cache_hits = 0
         self.compute_time = 0.0
         self.lookup_time = 0.0
         self.saved_time = 0.0
 
+    def eta(self, now: float, done: int, total: int) -> float:
+        """Seconds to completion, from the recent per-point pace."""
+        if not done:
+            return 0.0
+        if len(self._finish_times) >= 2:
+            window = self._finish_times[-1] - self._finish_times[0]
+            pace = window / (len(self._finish_times) - 1)
+        else:
+            assert self._start is not None
+            pace = (now - self._start) / done
+        return pace * (total - done)
+
     def __call__(self, done: int, total: int, result: PointResult) -> None:
+        now = time.perf_counter()
         if self._start is None:
-            self._start = time.perf_counter()
-        elapsed = time.perf_counter() - self._start
-        eta = elapsed / done * (total - done) if done else 0.0
+            self._start = now
+        elapsed = now - self._start
+        self._finish_times.append(now)
+        eta = self.eta(now, done, total)
         if result.cached:
             self.cache_hits += 1
             self.saved_time += result.wall_time
@@ -117,6 +155,13 @@ class ParallelRunner:
         uninstrumented.  Worker processes (``jobs > 1``) cannot share
         the parent's probe, so pool-executed points contribute cache
         counters only.
+    bus_dir:
+        Optional directory for the live progress bus
+        (:mod:`repro.parallel.bus`): workers append start / heartbeat /
+        done events per point for ``taq-obs tail`` to follow.  Defaults
+        from the ``TAQ_OBS_BUS`` environment variable; None (and no env
+        var) keeps the sweep bus-free.  The bus carries progress only,
+        never results, so armed sweeps stay bit-identical.
     """
 
     def __init__(
@@ -125,11 +170,15 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
         perf=None,
+        bus_dir: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
         self.perf = perf
+        if bus_dir is None:
+            bus_dir = os.environ.get("TAQ_OBS_BUS") or None
+        self.bus_dir = bus_dir
 
     def run(self, specs: Sequence[PointSpec]) -> List[PointResult]:
         """Run *specs*, returning results in spec order."""
@@ -137,6 +186,10 @@ class ParallelRunner:
         results: List[Optional[PointResult]] = [None] * total
         done = 0
         pending: List[int] = []
+        bus: Optional[ProgressBus] = None
+        if self.bus_dir is not None:
+            bus = ProgressBus(self.bus_dir)
+            bus.announce(total, getattr(self.progress, "label", "sweep"))
         for index, spec in enumerate(specs):
             if self.cache is not None:
                 lookup_start = time.perf_counter()
@@ -152,6 +205,9 @@ class ParallelRunner:
                     spec, value, wall_time, cached=True, lookup_time=lookup_time
                 )
                 done += 1
+                if bus is not None:
+                    bus.emit(point_key(index, spec.describe()), "done",
+                             wall=wall_time, cached=True)
                 self._report(done, total, results[index])
             else:
                 if self.perf is not None and self.cache is not None:
@@ -161,17 +217,25 @@ class ParallelRunner:
         if self.jobs == 1 or len(pending) <= 1:
             for index in pending:
                 done += 1
-                results[index] = self._run_one(specs[index], done, total)
+                results[index] = self._run_one(specs[index], index, done, total)
         else:
             done = self._run_pool(specs, pending, results, done, total)
         return [result for result in results if result is not None]
 
-    def _run_one(self, spec: PointSpec, done: int, total: int) -> PointResult:
+    def _execute_maybe_traced(self, spec: PointSpec, index: int):
+        if self.bus_dir is not None:
+            return _execute_traced(
+                spec, self.bus_dir, point_key(index, spec.describe())
+            )
+        return _execute(spec)
+
+    def _run_one(self, spec: PointSpec, index: int, done: int, total: int
+                 ) -> PointResult:
         if self.perf is not None:
             with self.perf.span("parallel.point"):
-                value, wall_time = _execute(spec)
+                value, wall_time = self._execute_maybe_traced(spec, index)
         else:
-            value, wall_time = _execute(spec)
+            value, wall_time = self._execute_maybe_traced(spec, index)
         result = PointResult(spec, value, wall_time)
         if self.cache is not None:
             self.cache.put(spec, value, wall_time)
@@ -188,7 +252,18 @@ class ParallelRunner:
     ) -> int:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_execute, specs[index]): index for index in pending}
+            if self.bus_dir is not None:
+                futures = {
+                    pool.submit(
+                        _execute_traced, specs[index], self.bus_dir,
+                        point_key(index, specs[index].describe()),
+                    ): index
+                    for index in pending
+                }
+            else:
+                futures = {
+                    pool.submit(_execute, specs[index]): index for index in pending
+                }
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)

@@ -50,7 +50,7 @@ class QueueDiscipline:
     """
 
     __slots__ = ("capacity_pkts", "link", "enqueued", "dropped",
-                 "_drop_observers", "perf")
+                 "_drop_observers", "perf", "spans")
 
     def __init__(self, capacity_pkts: int) -> None:
         if capacity_pkts < 1:
@@ -66,6 +66,11 @@ class QueueDiscipline:
         #: evictions alike).  None (the default) keeps the enqueue path
         #: uninstrumented.
         self.perf = None
+        #: Optional span recorder (``repro.obs.spans``): every drop —
+        #: rejection or push-out eviction — closes the packet's
+        #: lifecycle span.  None (the default) keeps the drop path
+        #: uninstrumented.
+        self.spans = None
 
     # -- wiring --------------------------------------------------------
     def attach(self, link: "Link") -> None:
@@ -80,6 +85,8 @@ class QueueDiscipline:
         self.dropped += 1
         if self.perf is not None:
             self.perf.packets_dropped += 1
+        if self.spans is not None:
+            self.spans.on_drop(packet, now)
         for observer in self._drop_observers:
             observer(packet, now)
 

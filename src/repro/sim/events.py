@@ -158,7 +158,8 @@ class EventQueue:
         self._live = 0
         self._next_seq = 0
         # Lower bound on every pending event's time (the last popped
-        # event's time); anchors the wheel scan.
+        # event's time, lowered again by any push scheduled before it);
+        # anchors the wheel scan.
         self._last_time = 0.0
         # Cached minimum entry, or None when unknown (recomputed lazily).
         self._head: Optional[_Entry] = None
@@ -194,6 +195,11 @@ class EventQueue:
             insort(self._slots[bucket & mask], entry)
             live = self._live + 1
             self._live = live
+            if time < self._last_time:
+                # Scheduling into the past: restore the _last_time lower
+                # bound or _find_head would start its scan beyond this
+                # event's bucket and pop a later event first.
+                self._last_time = time
             head = self._head
             if head is not None:
                 if entry < head:
@@ -209,6 +215,8 @@ class EventQueue:
             insort(self._slots[0], entry)
             live = self._live + 1
             self._live = live
+            if time < self._last_time:
+                self._last_time = time
             head = self._head
             if head is not None:
                 if entry < head:

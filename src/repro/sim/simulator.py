@@ -52,6 +52,11 @@ class Simulator:
         #: read the wall clock, so an armed run fires the same simulated
         #: event sequence as an unarmed one.
         self.perf = None
+        #: Optional span recorder (``repro.obs.spans``): brackets each
+        #: :meth:`run` call in a ``run`` span (timeline bounds).  The
+        #: per-event loop is never touched — recorders hook components,
+        #: not the dispatcher — so None vs armed is bit-identical.
+        self.spans = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -84,12 +89,16 @@ class Simulator:
         :class:`SimulationError` is raised on the attempt to process
         event ``max_events + 1``, never after it has run.
         """
+        spans = self.spans
+        run_span = spans.on_run_start(self.now) if spans is not None else None
         perf = self.perf
         if perf is None:
             self._loop(until, None)
         else:
             with perf.span("sim.run"):
                 self._loop(until, perf)
+        if spans is not None:
+            spans.on_run_end(run_span, self.now)
 
     def _loop(self, until: Optional[float], perf) -> None:
         events = self.events

@@ -122,6 +122,15 @@ class TcpFlow:
             sender_kwargs["initial_cwnd"] = initial_cwnd
         self.sender = factory(dumbbell.sim, flow_id, **sender_kwargs)
         self.sender.pool_id = pool_id
+        # Arm the sender's span recorder from the ambient recording()
+        # context, if one is active — this is how flows spawned mid-run
+        # (web sessions) join an armed trace.  Function-level import:
+        # repro.obs pulls in repro.metrics, which imports this module.
+        from repro.obs.spans import active_recorder
+
+        recorder = active_recorder()
+        if recorder is not None:
+            self.sender.spans = recorder
         if persistent_syn:
             # The paper's clients "constantly retry till admission":
             # steady 2-second knocking instead of exponential give-up.

@@ -153,6 +153,11 @@ class TCPSender:
         #: ``emit(kind, now, flow_id=..., **fields)``.  None (the
         #: default) keeps the send path free of instrumentation.
         self.probe = None
+        #: Optional span recorder (``repro.obs.spans``): records packet
+        #: births, SYN waits, RTO stalls and fast retransmits with
+        #: cause links.  None (the default) keeps the send path free of
+        #: instrumentation.
+        self.spans = None
 
         self.state = "closed"  # closed -> syn_sent -> established -> done
         self.cwnd = self.initial_cwnd
@@ -192,6 +197,8 @@ class TCPSender:
     def _send_syn(self) -> None:
         self._syn_sent_at = self.sim.now
         packet = Packet(self.flow_id, SYN, size=HEADER_BYTES, pool_id=self.pool_id)
+        if self.spans is not None:
+            self.spans.on_packet_sent(packet, self.sim.now)
         self._transmit(packet)
         timeout = self.SYN_TIMEOUT * (2 ** min(self._syn_retries, self.SYN_BACKOFF_CAP))
         self._syn_timer = self.sim.schedule(timeout, self._on_syn_timeout)
@@ -210,6 +217,13 @@ class TCPSender:
                 self.sim.now,
                 flow_id=self.flow_id,
                 attempt=self._syn_retries,
+            )
+        if self.spans is not None:
+            self.spans.on_syn_retry(
+                self.flow_id,
+                self.sim.now,
+                self._syn_retries,
+                self.sim.now - self._syn_sent_at,
             )
         self._send_syn()
 
@@ -275,6 +289,8 @@ class TCPSender:
             if self._round_sent == 0:
                 self._round_started_at = self.sim.now
             self._round_sent += 1
+        if self.spans is not None:
+            self.spans.on_packet_sent(packet, self.sim.now)
         self._transmit(packet)
         self._ensure_timer()
 
@@ -345,6 +361,8 @@ class TCPSender:
         if self._syn_timer is not None:
             self._syn_timer.cancel()
         self.state = "established"
+        if self.spans is not None:
+            self.spans.on_established(self.flow_id, now)
         if self._syn_retries == 0:
             self.rto.sample(now - self._syn_sent_at)
         if self.total_segments == 0:
@@ -413,6 +431,8 @@ class TCPSender:
             self.probe.emit(
                 "fast_retransmit", now, flow_id=self.flow_id, seq=self.snd_una
             )
+        if self.spans is not None:
+            self.spans.on_fast_retransmit(self.flow_id, now, seq=self.snd_una)
         self.ssthresh = max(self._pipe() / 2.0, 2.0)
         self.in_recovery = True
         self.recover = self.snd_next - 1
@@ -466,6 +486,14 @@ class TCPSender:
                 rto=self.rto.rto,
                 snd_una=self.snd_una,
             )
+        if self.spans is not None:
+            self.spans.on_rto(
+                self.flow_id,
+                now,
+                backoff=self.rto.backoff_exponent,
+                rto=self.rto.rto,
+                seq=self.snd_una,
+            )
         self.ssthresh = max(self._pipe() / 2.0, 2.0)
         self.cwnd = 1.0
         self.dupacks = 0
@@ -492,6 +520,10 @@ class TCPSender:
         if self._timer is not None:
             self._timer.cancel()
         fin = Packet(self.flow_id, FIN, size=HEADER_BYTES, pool_id=self.pool_id)
+        if self.spans is not None:
+            self.spans.on_packet_sent(fin, now)
         self._transmit(fin)
+        if self.spans is not None:
+            self.spans.on_flow_done(self.flow_id, now)
         if self.on_complete is not None:
             self.on_complete(now)

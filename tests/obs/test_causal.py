@@ -1,0 +1,297 @@
+"""Critical-path attribution over span traces.
+
+The unit layer hand-builds small span sets so every attribution rule is
+pinned against known arithmetic: category priority where claims
+overlap, boundary splitting, contributor merging, the transfer
+residual.  The acceptance layer runs the paper's Fig 12 situation — an
+admission-controlled TAQ bottleneck under heavy load, where short web
+downloads hang for tens of seconds — and requires that the critical
+path explains at least 95% of the hung flow's completion time with
+concrete admission / RTO / drop spans, which is the whole point of the
+tracing plane: a hang you can't attribute is a hang you can't fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.build import ScenarioSpec, build_simulation
+from repro.obs.causal import (
+    CATEGORY_PRIORITY,
+    critical_path,
+    flow_table,
+    render_critical_path,
+    render_flow_table,
+    render_timeline,
+    spans_by_flow,
+    worst_flow,
+)
+from repro.obs.spans import Span, recording
+
+
+def _flow(flow_id, t0, t1, next_id=0):
+    return Span(next_id, "flow", flow_id=flow_id, t0=t0, t1=t1)
+
+
+# ----------------------------------------------------------------------
+# Attribution rules
+# ----------------------------------------------------------------------
+class TestAttribution:
+    def test_refused_syn_wait_is_admission_time(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "syn_wait", flow_id=1, t0=0.0, t1=3.0, parent=0,
+                 attempt=1, refused=True),
+        ]
+        path = critical_path(spans, 1)
+        assert path.by_category == {"admission": pytest.approx(3.0)}
+        assert path.transfer == pytest.approx(7.0)
+        assert path.attributed_fraction() == pytest.approx(0.3)
+
+    def test_lost_syn_wait_is_syn_loss_time(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "syn_wait", flow_id=1, t0=0.0, t1=3.0, parent=0, attempt=1),
+        ]
+        path = critical_path(spans, 1)
+        assert path.by_category == {"syn_loss": pytest.approx(3.0)}
+
+    def test_drop_claim_spans_drop_to_fast_retransmit(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "pkt", flow_id=1, t0=2.0, t1=2.5, parent=0, pkt="data",
+                 seq=4, outcome="dropped"),
+            Span(2, "fast_rtx", flow_id=1, t0=4.0, t1=4.0, parent=0,
+                 cause=1, seq=4),
+        ]
+        path = critical_path(spans, 1)
+        # The loss-detection window: the drop's close to the retransmit.
+        assert path.by_category == {"drop": pytest.approx(1.5)}
+
+    def test_queueing_claims_come_from_enq_tx_stage_pairs(self):
+        pkt = Span(1, "pkt", flow_id=1, t0=1.0, t1=3.0, parent=0, pkt="data",
+                   outcome="delivered")
+        pkt.stages = [["created", 1.0], ["enq", 1.0, "fwd"],
+                      ["tx", 2.2, "fwd"], ["deliv", 3.0]]
+        path = critical_path([_flow(1, 0.0, 10.0), pkt], 1)
+        assert path.by_category == {"queueing": pytest.approx(1.2)}
+
+    def test_overlapping_claims_charge_by_priority(self):
+        # An RTO stall covering a queueing wait: every instant goes to
+        # the higher-priority rto category, never double-charged.
+        pkt = Span(2, "pkt", flow_id=1, t0=2.0, t1=6.0, parent=0, pkt="data",
+                   outcome="delivered")
+        pkt.stages = [["enq", 2.0, "fwd"], ["tx", 6.0, "fwd"]]
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "rto", flow_id=1, t0=1.0, t1=5.0, parent=0,
+                 backoff=1, rto=4.0, stall=4.0),
+            pkt,
+        ]
+        path = critical_path(spans, 1)
+        assert path.by_category["rto"] == pytest.approx(4.0)
+        assert path.by_category["queueing"] == pytest.approx(1.0)  # 5.0..6.0
+        total = sum(path.by_category.values())
+        assert total <= path.sojourn + 1e-9
+        assert path.transfer == pytest.approx(path.sojourn - total)
+
+    def test_claims_clip_to_the_flow_extent(self):
+        spans = [
+            _flow(1, 2.0, 8.0),
+            Span(1, "rto", flow_id=1, t0=0.0, t1=10.0, parent=0,
+                 backoff=1, rto=10.0, stall=10.0),
+        ]
+        path = critical_path(spans, 1)
+        assert path.by_category == {"rto": pytest.approx(6.0)}
+        assert path.attributed_fraction() == pytest.approx(1.0)
+
+    def test_adjacent_segments_of_one_span_merge_in_the_chain(self):
+        # Two abutting claims from the same span must render as one
+        # contributor segment, not a split at the internal boundary.
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "rto", flow_id=1, t0=1.0, t1=5.0, parent=0,
+                 backoff=1, rto=4.0, stall=4.0),
+            Span(2, "syn_wait", flow_id=1, t0=3.0, t1=4.0, parent=0, attempt=1),
+        ]
+        path = critical_path(spans, 1)
+        rto_segments = [c for c in path.contributors if c[0] == "rto"]
+        assert len(rto_segments) == 1
+        assert rto_segments[0][1:3] == (1.0, 5.0)
+
+    def test_contributors_are_time_ordered_and_disjoint(self):
+        spans = [
+            _flow(1, 0.0, 20.0),
+            Span(1, "syn_wait", flow_id=1, t0=0.0, t1=3.0, parent=0,
+                 attempt=1, refused=True),
+            Span(2, "rto", flow_id=1, t0=5.0, t1=9.0, parent=0,
+                 backoff=1, rto=4.0, stall=4.0),
+            Span(3, "rto", flow_id=1, t0=9.0, t1=17.0, parent=0,
+                 backoff=2, rto=8.0, stall=8.0),
+        ]
+        path = critical_path(spans, 1)
+        edges = [(c[1], c[2]) for c in path.contributors]
+        assert edges == sorted(edges)
+        for (_, end), (start, _) in zip(edges, edges[1:]):
+            assert start >= end - 1e-12
+
+    def test_attributed_fraction_can_scope_to_wait_categories(self):
+        pkt = Span(2, "pkt", flow_id=1, t0=4.0, t1=6.0, parent=0, pkt="data",
+                   outcome="delivered")
+        pkt.stages = [["enq", 4.0, "fwd"], ["tx", 6.0, "fwd"]]
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "rto", flow_id=1, t0=0.0, t1=3.0, parent=0,
+                 backoff=1, rto=3.0, stall=3.0),
+            pkt,
+        ]
+        path = critical_path(spans, 1)
+        assert path.attributed_fraction() == pytest.approx(0.5)
+        assert path.attributed_fraction(("rto",)) == pytest.approx(0.3)
+
+    def test_open_flow_span_yields_none(self):
+        assert critical_path([Span(0, "flow", flow_id=1, t0=0.0)], 1) is None
+
+    def test_unknown_flow_yields_none(self):
+        assert critical_path([_flow(1, 0.0, 10.0)], 99) is None
+
+    def test_penalties_join_the_report_but_claim_no_time(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "penalty", flow_id=1, t0=4.0, t1=4.0, parent=0,
+                 recent_drops=3),
+        ]
+        path = critical_path(spans, 1)
+        assert path.by_category == {}
+        assert len(path.penalties) == 1
+
+
+# ----------------------------------------------------------------------
+# Flow listing
+# ----------------------------------------------------------------------
+class TestFlowTable:
+    SPANS = [
+        _flow(1, 0.0, 4.0),
+        Span(1, "flow", flow_id=2, t0=0.0, t1=9.0),
+        Span(2, "flow", flow_id=3, t0=0.0),  # still open
+        Span(3, "rto", flow_id=2, t0=1.0, t1=2.0, backoff=1, rto=1.0, stall=1.0),
+        Span(4, "run", flow_id=-1, t0=0.0, t1=10.0),
+    ]
+
+    def test_rows_sort_open_then_slowest_first(self):
+        rows = flow_table(self.SPANS)
+        assert [row["flow"] for row in rows] == [3, 2, 1]
+        assert rows[0]["done"] is False
+        assert rows[1]["rtos"] == 1
+
+    def test_worst_flow_is_the_slowest_completed(self):
+        assert worst_flow(self.SPANS) == 2
+
+    def test_run_spans_are_excluded_from_grouping(self):
+        assert -1 not in spans_by_flow(self.SPANS)
+
+    def test_worst_flow_none_when_nothing_completed(self):
+        assert worst_flow([Span(0, "flow", flow_id=1, t0=0.0)]) is None
+
+
+# ----------------------------------------------------------------------
+# Renderers (shape, not byte-for-byte)
+# ----------------------------------------------------------------------
+class TestRenderers:
+    def test_render_critical_path_reports_attribution(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "syn_wait", flow_id=1, t0=0.0, t1=6.0, parent=0,
+                 attempt=1, refused=True),
+        ]
+        text = render_critical_path(critical_path(spans, 1))
+        assert "flow 1" in text
+        assert "admission" in text
+        assert "60.0%" in text
+        assert "contributor chain:" in text
+
+    def test_render_timeline_shows_each_span_row(self):
+        spans = [
+            _flow(1, 0.0, 10.0),
+            Span(1, "rto", flow_id=1, t0=1.0, t1=5.0, parent=0,
+                 backoff=2, rto=4.0, stall=4.0),
+        ]
+        text = render_timeline(spans, 1)
+        assert "sojourn=10.0000s" in text
+        assert "rto backoff=2" in text
+        assert "|" in text
+
+    def test_render_timeline_handles_unknown_flow(self):
+        assert "no spans recorded" in render_timeline([], 5)
+
+    def test_render_flow_table_truncates(self):
+        spans = [Span(i, "flow", flow_id=i, t0=0.0, t1=float(i + 1))
+                 for i in range(5)]
+        text = render_flow_table(spans, top=2)
+        assert "5 flows traced" in text
+        assert "... 3 more" in text
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the Fig 12 hang is explainable
+# ----------------------------------------------------------------------
+#: An admission-controlled TAQ bottleneck saturated by bulk flows while
+#: short web downloads (the paper's Fig 12 objects) arrive: a tight
+#: admission threshold makes the web flows wait out multiple refused
+#: SYN rounds, then climb the RTO ladder through residual congestion.
+HANG_SCENARIO = {
+    "name": "fig12-hang",
+    "seed": 7,
+    "duration": 90.0,
+    "topology": {"type": "dumbbell", "capacity_bps": 200_000, "rtt": 0.2},
+    "queue": {"kind": "taq+ac", "p_thresh": 0.02, "t_wait": 6.0},
+    "workloads": [
+        {"type": "bulk", "n_flows": 12},
+        {"type": "web-bands", "n_users": 40, "objects_per_user": 1,
+         "small_band": [4000, 8000], "large_fraction": 0.0,
+         "connections": 1, "arrival_window": 20.0, "first_flow_id": 1000},
+    ],
+}
+
+WAIT_CATEGORIES = ("admission", "rto", "drop", "syn_loss")
+
+
+class TestFig12HangAttribution:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        spec = ScenarioSpec.from_document(HANG_SCENARIO)
+        with recording() as recorder:
+            built = build_simulation(spec)
+            built.run()
+        return recorder.spans
+
+    def test_the_worst_flow_is_a_hung_web_download(self, trace):
+        flow_id = worst_flow(trace)
+        assert flow_id >= 1000  # a web object, not a bulk flow
+        path = critical_path(trace, flow_id)
+        # A few-kB object took the better part of a minute: a Fig 12 hang.
+        assert path.sojourn > 30.0
+
+    def test_hang_time_is_at_least_95_percent_attributed(self, trace):
+        path = critical_path(trace, worst_flow(trace))
+        assert path.attributed_fraction() >= 0.95
+        # Even excluding queueing: concrete admission/RTO/drop spans
+        # explain the hang, not a diffuse "time in buffers".
+        assert path.attributed_fraction(WAIT_CATEGORIES) >= 0.95
+
+    def test_the_attribution_names_admission_and_rto_waits(self, trace):
+        path = critical_path(trace, worst_flow(trace))
+        assert path.by_category.get("admission", 0.0) > 0.0
+        categories = {c for c, *_ in path.contributors}
+        assert categories & set(CATEGORY_PRIORITY)
+
+    def test_every_completed_web_flow_is_mostly_attributed(self, trace):
+        rows = [row for row in flow_table(trace)
+                if row["flow"] >= 1000 and row["done"]]
+        assert len(rows) >= 10
+        for row in rows[:5]:  # the five slowest completed web flows
+            path = critical_path(trace, row["flow"])
+            assert path.attributed_fraction() >= 0.95, (
+                f"flow {row['flow']}: only "
+                f"{path.attributed_fraction() * 100:.1f}% attributed"
+            )

@@ -9,6 +9,7 @@ matched by pattern, everything after it byte-for-byte.
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -17,7 +18,12 @@ import sys
 import pytest
 
 from repro.obs import Telemetry
-from repro.obs.report import main, render_run_report, render_telemetry_report
+from repro.obs.report import (
+    main,
+    render_run_report,
+    render_telemetry_report,
+    run_report_payload,
+)
 
 #: Everything the report renders below the manifest line, pinned.
 GOLDEN_BODY = """\
@@ -133,3 +139,45 @@ def test_report_cli_module_smoke(bundle_dir):
     assert result.returncode == 0, result.stderr
     assert "events: drop=3, rto=1" in result.stdout
     assert "top droppers (packets dropped, top 5):" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# --format json: the machine-readable counterpart
+# ----------------------------------------------------------------------
+def test_run_report_payload_mirrors_the_text_report(bundle_dir):
+    payload = run_report_payload(bundle_dir)
+    assert payload["manifest"]["run_id"] == "golden"
+    assert payload["manifest"]["seed"] == 9
+    assert payload["manifest"]["duration"] == 40.0
+    assert payload["trace"]["events"] == {"drop": 3, "rto": 1}
+    assert payload["trace"]["truncated"] is False
+    assert payload["trace"]["top_droppers"] == {"flow 2": 2.0, "flow 5": 1.0}
+    assert payload["trace"]["top_rto"] == {"flow 2": 1.0}
+    depth = payload["series"]["queue.depth"]
+    assert depth["min"] == 0.0 and depth["max"] == 9.0 and depth["p50"] == 4.0
+
+
+def test_run_report_payload_respects_top_n(bundle_dir):
+    payload = run_report_payload(bundle_dir, top_n=1)
+    assert list(payload["trace"]["top_droppers"]) == ["flow 2"]
+
+
+def test_report_main_json_format(bundle_dir, capsys):
+    assert main([bundle_dir, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == run_report_payload(bundle_dir)
+    # And it is genuinely machine-readable: stable key order.
+    assert json.dumps(payload, indent=2, sort_keys=True)
+
+
+def test_report_cli_json_smoke(bundle_dir):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.obs.report", bundle_dir,
+         "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ),
+    )
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["manifest"]["run_id"] == "golden"

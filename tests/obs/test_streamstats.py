@@ -1,0 +1,147 @@
+"""Deterministic streaming percentiles (repro.obs.streamstats).
+
+The histograms are the always-on counterpart to the bounded span
+recorder, so the properties under test are exactness where promised
+(count, sum, min, max, p0/p100), determinism (same observations, same
+summary, independent of nothing — no sampling, no randomness), bounded
+relative error for interior percentiles, and bounded memory via the
+per-flow overflow bucket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.streamstats import FlowTimings, LogHistogram, StreamingFlowStats
+
+
+class TestLogHistogram:
+    def test_exact_moments(self):
+        hist = LogHistogram()
+        for value in (0.001, 0.01, 0.1, 1.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(1.111)
+        assert hist.mean == pytest.approx(1.111 / 4)
+        assert hist.min == 0.001
+        assert hist.max == 1.0
+
+    def test_extreme_percentiles_are_exact(self):
+        hist = LogHistogram()
+        for value in (0.003, 0.7, 12.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 0.003
+        assert hist.percentile(100) == 12.0
+
+    def test_interior_percentiles_have_bounded_relative_error(self):
+        hist = LogHistogram()
+        values = [0.001 * (1.1 ** i) for i in range(200)]
+        for value in values:
+            hist.observe(value)
+        exact = sorted(values)[len(values) // 2]
+        estimate = hist.percentile(50)
+        # 8 bins/decade: one bin spans a 10^(1/8) ~ 1.33x ratio.
+        assert exact / 1.34 <= estimate <= exact * 1.34
+
+    def test_percentiles_clamp_into_observed_range(self):
+        hist = LogHistogram()
+        hist.observe(0.02)
+        for q in (1, 50, 99):
+            assert hist.percentile(q) == 0.02
+
+    def test_empty_histogram_answers_zero(self):
+        hist = LogHistogram()
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.mean == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_below_lo_lands_in_first_bin(self):
+        hist = LogHistogram(lo=1e-4)
+        hist.observe(1e-9)
+        hist.observe(0.0)
+        assert hist.counts[0] == 2
+        assert hist.min == 0.0
+
+    def test_above_range_lands_in_last_bin(self):
+        hist = LogHistogram(lo=1e-4, bins_per_decade=8, decades=8)
+        hist.observe(1e9)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(100) == 1e9  # exact max still wins
+
+    def test_determinism_same_inputs_same_summary(self):
+        a, b = LogHistogram(), LogHistogram()
+        values = [0.0001 * (1.07 ** i) for i in range(300)]
+        for value in values:
+            a.observe(value)
+        for value in values:
+            b.observe(value)
+        assert a.summary() == b.summary()
+        assert a.counts == b.counts
+
+    def test_merge_equals_observing_everything_in_one(self):
+        left, right, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        for i, value in enumerate(0.001 * (1.3 ** i) for i in range(40)):
+            (left if i % 2 else right).observe(value)
+            combined.observe(value)
+        left.merge(right)
+        assert left.counts == combined.counts
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        assert (left.min, left.max) == (combined.min, combined.max)
+
+
+class TestFlowTimings:
+    def test_summary_only_reports_touched_metrics(self):
+        timings = FlowTimings()
+        timings.hang.observe(0.5)
+        summary = timings.summary()
+        assert set(summary) == {"hang"}
+        assert summary["hang"]["count"] == 1
+
+
+class TestStreamingFlowStats:
+    def test_observations_hit_both_flow_and_total(self):
+        stats = StreamingFlowStats()
+        stats.observe_queue_delay(1, 0.01)
+        stats.observe_hang(1, 0.5)
+        stats.observe_sojourn(1, 3.0)
+        assert stats.flows[1].queue_delay.count == 1
+        assert stats.total.hang.max == 0.5
+        assert stats.total.sojourn.count == 1
+
+    def test_worst_flows_ranks_by_metric_max(self):
+        stats = StreamingFlowStats()
+        stats.observe_hang(1, 0.2)
+        stats.observe_hang(2, 9.0)
+        stats.observe_hang(3, 1.5)
+        assert stats.worst_flows("hang", top=2) == [(2, 9.0), (3, 1.5)]
+
+    def test_overflow_bucket_bounds_per_flow_memory(self):
+        stats = StreamingFlowStats(max_flows=2)
+        for flow_id in range(5):
+            stats.observe_sojourn(flow_id, 1.0)
+        # Two tracked flows plus the shared overflow bucket.
+        assert set(stats.flows) == {0, 1, StreamingFlowStats.OVERFLOW}
+        assert stats.overflowed_flows == 3
+        assert stats.flows[StreamingFlowStats.OVERFLOW].sojourn.count == 3
+        # Global totals still see everything.
+        assert stats.total.sojourn.count == 5
+        summary = stats.summary()
+        assert summary["flows"] == 2
+        assert summary["overflowed_flows"] == 3
+
+    def test_overflowed_flows_never_rank_as_worst(self):
+        stats = StreamingFlowStats(max_flows=1)
+        stats.observe_hang(1, 0.1)
+        stats.observe_hang(2, 99.0)  # folded into overflow
+        assert stats.worst_flows("hang") == [(1, 0.1)]
+
+    def test_render_is_deterministic_text(self):
+        stats = StreamingFlowStats()
+        stats.observe_queue_delay(1, 0.012)
+        stats.observe_sojourn(1, 2.0)
+        text = stats.render()
+        assert text == stats.render()
+        assert "queue_delay" in text and "sojourn" in text
+        assert "hang" not in text  # untouched metric omitted
