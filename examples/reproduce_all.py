@@ -7,13 +7,18 @@ so the series can be re-plotted with any tool.
 
 The grid experiments (figs 2/3/8/11, variants) fan their points across
 worker processes — ``--jobs 1`` forces the sequential path, which
-produces bit-identical tables.  Point results are cached on disk
-(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by the point spec
-plus a hash of the package source, so a re-run only recomputes what
-changed; ``--no-cache`` bypasses that.
+produces bit-identical tables.  Point results land in a pluggable
+cache backend keyed by the point spec plus a hash of the package
+source, so a re-run only recomputes what changed; ``--cache-backend``
+selects the store (local dir by default; ``sqlite:PATH`` to share a
+machine, ``http://host:port`` to share a fleet — all bit-compatible)
+and ``--no-cache`` bypasses it.  ``--resume DIR`` additionally records
+every point in a durable job store: kill this script mid-sweep, rerun
+the same command, and only cold points re-execute.
 
 Run:  python examples/reproduce_all.py [output_dir] [--jobs N]
-      [--no-cache] [--only fig02,fig08] [--telemetry-dir DIR]
+      [--no-cache] [--cache-backend SPEC] [--resume DIR]
+      [--only fig02,fig08] [--telemetry-dir DIR]
 """
 
 import argparse
@@ -51,6 +56,14 @@ def parse_args():
                              "(default: one per CPU; 1 = sequential)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every point, ignoring the result cache")
+    parser.add_argument("--cache-backend", default=None, metavar="SPEC",
+                        help="result store: dir:PATH, sqlite:PATH, or "
+                             "http://host:port (default: the local dir "
+                             "cache; $REPRO_CACHE_BACKEND also applies)")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="durable job store directory: kill and rerun "
+                             "with the same flags and only cold points "
+                             "re-execute")
     parser.add_argument("--only", default=None, metavar="IDS",
                         help="comma-separated experiment ids to run "
                              "(e.g. 'fig02,fig08'); default: everything")
@@ -76,10 +89,15 @@ def main() -> None:
             raise SystemExit(f"unknown experiment ids: {', '.join(unknown)}")
         selected = [(name, mod) for name, mod in EXPERIMENTS if name in wanted]
 
-    from repro.parallel import ProgressPrinter, ResultCache
+    from repro.parallel import ProgressPrinter, parse_backend
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
-    cache = None if args.no_cache else ResultCache()
+    backend_spec = args.cache_backend or os.environ.get("REPRO_CACHE_BACKEND")
+    cache = None if args.no_cache else parse_backend(backend_spec)
+    if args.resume is not None:
+        # Runners built inside the experiments pick the durable job
+        # store up from the environment (like TAQ_OBS_BUS for the bus).
+        os.environ["TAQ_JOB_STORE"] = args.resume
 
     os.makedirs(args.output_dir, exist_ok=True)
     grand_start = time.time()

@@ -6,6 +6,9 @@ Examples::
     taq-experiments fig02
     taq-experiments fig12 --paper
     taq-experiments tipping-point
+    taq-experiments fig02 --cache-backend sqlite:/shared/taq.sqlite
+    taq-experiments fig08 --resume runs/fig08-sweep
+    taq-experiments cache stats --json
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -37,6 +41,22 @@ EXPERIMENTS = {
 }
 
 
+def make_cache(args):
+    """The cache backend the CLI flags select (never None).
+
+    ``--cache-backend`` wins, then ``$REPRO_CACHE_BACKEND``, then the
+    default local dir store; see
+    :func:`repro.parallel.backends.parse_backend` for the accepted
+    ``dir:PATH`` / ``sqlite:PATH`` / ``http://host:port`` forms.
+    """
+    from repro.parallel import parse_backend
+
+    spec = getattr(args, "cache_backend", None) or os.environ.get(
+        "REPRO_CACHE_BACKEND"
+    )
+    return parse_backend(spec)
+
+
 def engine_kwargs(module, args) -> dict:
     """Parallel-engine kwargs for ``module.run``, if it supports them.
 
@@ -53,11 +73,11 @@ def engine_kwargs(module, args) -> dict:
                 file=sys.stderr,
             )
     else:
-        from repro.parallel import ProgressPrinter, ResultCache
+        from repro.parallel import ProgressPrinter
 
         kwargs = {
             "jobs": args.jobs if args.jobs is not None else os.cpu_count() or 1,
-            "cache": None if args.no_cache else ResultCache(),
+            "cache": None if args.no_cache else make_cache(args),
             "progress": ProgressPrinter(args.experiment),
         }
     telemetry_dir = getattr(args, "telemetry_dir", None)
@@ -140,6 +160,35 @@ def _run_scenarios(args) -> int:
     return 0
 
 
+def _run_cache(args) -> int:
+    """``taq-experiments cache stats|prune`` against any backend."""
+    action = args.scenario_file[0] if args.scenario_file else "stats"
+    if action not in ("stats", "prune"):
+        print(f"unknown cache action {action!r}; try 'stats' or 'prune'",
+              file=sys.stderr)
+        return 2
+    backend = make_cache(args)
+    if action == "stats":
+        stats = backend.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+        else:
+            print(f"cache backend: {stats.get('location')}")
+            for field in ("enabled", "entries", "bytes", "hits", "misses"):
+                if field in stats:
+                    print(f"  {field}: {stats[field]}")
+        return 0
+    removed = backend.prune(args.older_than)
+    if args.json:
+        print(json.dumps({"removed": removed,
+                          "location": backend.describe()}, sort_keys=True))
+    else:
+        scope = (f"older than {args.older_than:g}s"
+                 if args.older_than is not None else "all entries")
+        print(f"pruned {removed} entry(ies) ({scope}) from {backend.describe()}")
+    return 0
+
+
 def _run_tipping_point() -> int:
     from repro.model import find_tipping_point
 
@@ -157,14 +206,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'tipping-point', 'scenario', or 'list'",
+        help="experiment id (see 'list'), 'tipping-point', 'scenario', "
+             "'cache', or 'list'",
     )
     parser.add_argument(
         "scenario_file",
         nargs="*",
         default=[],
         help="JSON scenario documents (only with the 'scenario' command); "
-             "several files fan out across --jobs workers",
+             "several files fan out across --jobs workers.  With the "
+             "'cache' command: the action, 'stats' (default) or 'prune'",
     )
     parser.add_argument(
         "--paper",
@@ -179,8 +230,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--no-cache", action="store_true",
-        help="recompute every point instead of reusing the on-disk result "
-             "cache ($REPRO_CACHE_DIR or ~/.cache/repro)",
+        help="recompute every point instead of reusing the result cache",
+    )
+    parser.add_argument(
+        "--cache-backend", metavar="SPEC", default=None,
+        help="result store: dir:PATH (default: $REPRO_CACHE_DIR, then "
+             "$XDG_CACHE_HOME/repro, then ~/.cache/repro), sqlite:PATH "
+             "(safe to share between concurrent sweeps), or "
+             "http://host:port (a taq-serve / repro.parallel.httpstore "
+             "shared store); $REPRO_CACHE_BACKEND supplies the default. "
+             "All backends are bit-compatible.",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="record sweep state in a durable job store under DIR "
+             "(sets TAQ_JOB_STORE); re-run the same command after a "
+             "crash or kill and only cold points re-execute",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with the 'cache' command: machine-readable output",
+    )
+    parser.add_argument(
+        "--older-than", type=float, default=None, metavar="SECONDS",
+        help="with 'cache prune': only drop entries older than this",
     )
     parser.add_argument(
         "--csv", metavar="PATH", default=None,
@@ -218,11 +291,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The runner (and pool workers, which inherit the environment)
         # default their bus from this variable.
         os.environ["TAQ_OBS_BUS"] = args.bus_dir
+    if args.resume is not None:
+        if args.no_cache:
+            print("(note: --resume reuses finished points through the "
+                  "cache; with --no-cache every point recomputes)",
+                  file=sys.stderr)
+        # Every runner the experiment builds picks the store up from
+        # the environment, the same way --bus-dir arms the bus.
+        os.environ["TAQ_JOB_STORE"] = args.resume
 
+    if args.experiment == "cache":
+        return _run_cache(args)
     if args.experiment == "list":
         for key, (_, description) in EXPERIMENTS.items():
             print(f"{key:7s} {description}")
         print("tipping-point  model tipping point (~0.1)")
+        print("cache          result-store stats/prune (any --cache-backend)")
         return 0
     if args.experiment == "tipping-point":
         return _run_tipping_point()

@@ -67,7 +67,15 @@ class ProgressBus:
 
 
 class Heartbeat:
-    """Daemon-thread heartbeat a worker runs while computing one point."""
+    """Daemon-thread heartbeat a worker runs while computing one point.
+
+    Strictly a context manager: ``__exit__`` *always* stops and joins
+    the thread — on clean completion and on the crash path alike — so
+    no heartbeat outlives its point even when the computation raises.
+    :meth:`stop` is idempotent and safe from any path; a bus write
+    failure inside the beat thread (disk full, bus directory removed)
+    ends the thread quietly rather than spewing into worker stderr.
+    """
 
     def __init__(self, bus: ProgressBus, key: str,
                  interval: float = HEARTBEAT_INTERVAL) -> None:
@@ -80,16 +88,30 @@ class Heartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            self.bus.emit(self.key, "heartbeat",
-                          elapsed=time.time() - self._started)
+            try:
+                self.bus.emit(self.key, "heartbeat",
+                              elapsed=time.time() - self._started)
+            except OSError:
+                return  # bus gone (disk full, dir removed): beat no more
+
+    @property
+    def alive(self) -> bool:
+        """True while the beat thread is running."""
+        return self._thread.is_alive()
+
+    def stop(self) -> bool:
+        """Stop and join the beat thread (idempotent); True if joined."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=self.interval + 1.0)
+        return not self._thread.is_alive()
 
     def __enter__(self) -> "Heartbeat":
         self._thread.start()
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        self._stop.set()
-        self._thread.join(timeout=self.interval + 1.0)
+        self.stop()
 
 
 # ----------------------------------------------------------------------
@@ -120,7 +142,7 @@ def read_bus(bus_dir: str) -> Dict[str, Any]:
             continue
         point: Dict[str, Any] = {"status": "pending", "elapsed": 0.0,
                                  "last_seen": None, "wall": None,
-                                 "cached": False}
+                                 "cached": False, "error": None}
         for event in events:
             kind = event.get("kind")
             point["last_seen"] = event.get("t")
@@ -134,6 +156,9 @@ def read_bus(bus_dir: str) -> Dict[str, Any]:
                 point["status"] = "cached" if event.get("cached") else "done"
                 point["wall"] = event.get("wall")
                 point["cached"] = bool(event.get("cached"))
+            elif kind == "failed":
+                point["status"] = "failed"
+                point["error"] = event.get("error")
         state["points"][path.stem] = point
     return state
 
@@ -145,8 +170,12 @@ def render_tail(state: Dict[str, Any], now: Optional[float] = None) -> str:
     total = state["total"] if state["total"] is not None else len(points)
     finished = sum(1 for p in points.values() if p["status"] in ("done", "cached"))
     running = sum(1 for p in points.values() if p["status"] == "running")
+    failed = sum(1 for p in points.values() if p["status"] == "failed")
     label = state["label"] or "sweep"
-    lines = [f"{label}: {finished}/{total} done, {running} running"]
+    head = f"{label}: {finished}/{total} done, {running} running"
+    if failed:
+        head += f", {failed} failed"
+    lines = [head]
     for key, point in sorted(points.items()):
         status = point["status"]
         if status == "running":
@@ -160,6 +189,9 @@ def render_tail(state: Dict[str, Any], now: Optional[float] = None) -> str:
             wall = point["wall"]
             spent = f" in {wall:.1f}s" if wall is not None else ""
             detail = f"{status}{spent}"
+        elif status == "failed":
+            error = point.get("error")
+            detail = f"failed: {error}" if error else "failed"
         else:
             detail = status
         lines.append(f"  {key:<46} {detail}")

@@ -1,4 +1,11 @@
-"""The process-pool executor for experiment point specs.
+"""The executor: drive job-store points through a process pool.
+
+The runner is deliberately thin.  Work identity and state live in the
+:class:`~repro.parallel.jobs.JobStore` (pending/running/done/failed,
+persisted when the store is durable), results live in the cache
+backend (any :class:`~repro.parallel.cache.CacheBackend`), and this
+module only moves jobs between those states: look each point up in the
+cache, fan the cold ones out, record the outcomes.
 
 ``jobs=1`` runs every spec in-process, in order — the sequential
 reference path.  ``jobs>1`` fans the uncached specs out over a
@@ -6,6 +13,15 @@ reference path.  ``jobs>1`` fans the uncached specs out over a
 from its own root seed (see :class:`repro.sim.rng.RngRegistry`), the
 results are bit-identical to the sequential path regardless of worker
 scheduling, and the runner returns them in spec order either way.
+The choice of cache backend never affects results either: all
+backends serve the same bytes under the same keys.
+
+A durable store makes a sweep resumable: re-running the same command
+re-submits the same specs (idempotent by id), the finished points come
+back as cache hits, and only the cold remainder executes.  Arming is
+explicit (``store=``) or ambient via the ``TAQ_JOB_STORE`` environment
+variable (what ``taq-experiments --resume DIR`` sets), mirroring how
+``TAQ_OBS_BUS`` arms the progress bus.
 """
 
 from __future__ import annotations
@@ -18,7 +34,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, TextIO
 
 from repro.parallel.bus import Heartbeat, ProgressBus, point_key
-from repro.parallel.cache import ResultCache
+from repro.parallel.cache import CacheBackend
+from repro.parallel.jobs import JobStore
+
 from repro.parallel.spec import PointResult, PointSpec
 
 #: Progress callbacks receive (done_count, total_count, latest_result).
@@ -35,11 +53,17 @@ def _execute(spec: PointSpec):
 def _execute_traced(spec: PointSpec, bus_dir: str, key: str):
     """Worker entry point with live telemetry: same computation as
     :func:`_execute`, bracketed by start/heartbeat/done events on the
-    sweep's progress bus (``taq-obs tail`` follows them)."""
+    sweep's progress bus (``taq-obs tail`` follows them).  A crashing
+    point emits ``failed`` instead of ``done``, and the heartbeat
+    thread is always stopped — no daemon thread outlives the point."""
     bus = ProgressBus(bus_dir)
     bus.emit(key, "start", pid=os.getpid(), label=spec.describe())
-    with Heartbeat(bus, key):
-        value, wall_time = _execute(spec)
+    try:
+        with Heartbeat(bus, key):
+            value, wall_time = _execute(spec)
+    except BaseException as exc:
+        bus.emit(key, "failed", error=repr(exc))
+        raise
     bus.emit(key, "done", wall=wall_time)
     return value, wall_time
 
@@ -134,7 +158,7 @@ class ProgressPrinter:
 
 
 class ParallelRunner:
-    """Execute point specs across a process pool, cache-aware.
+    """Execute point specs across a process pool, via the job store.
 
     Parameters
     ----------
@@ -142,19 +166,22 @@ class ParallelRunner:
         Worker process count; ``None`` means one per CPU.  ``1`` runs
         sequentially in-process (no pool, no pickling).
     cache:
-        Optional :class:`ResultCache`; hits skip execution entirely
-        and are reported with ``cached=True`` (and the measured lookup
-        cost in ``lookup_time``).
+        Optional :class:`~repro.parallel.cache.CacheBackend` (local
+        dir, sqlite, or HTTP — see :mod:`repro.parallel.backends`);
+        hits skip execution entirely and are reported with
+        ``cached=True`` (and the measured lookup cost in
+        ``lookup_time``).
     progress:
         Optional callback invoked after every completed point with
         ``(done, total, result)``; see :class:`ProgressPrinter`.
     perf:
         Optional :class:`repro.perf.PerfProbe`: counts cache
-        hits/misses and wraps each in-process point execution in a
-        ``parallel.point`` span.  None (the default) keeps the runner
-        uninstrumented.  Worker processes (``jobs > 1``) cannot share
-        the parent's probe, so pool-executed points contribute cache
-        counters only.
+        hits/misses (totals in the hot counters, per-backend under
+        ``parallel.cache.<kind>.hits/misses``) and wraps each
+        in-process point execution in a ``parallel.point`` span.  None
+        (the default) keeps the runner uninstrumented.  Worker
+        processes (``jobs > 1``) cannot share the parent's probe, so
+        pool-executed points contribute cache counters only.
     bus_dir:
         Optional directory for the live progress bus
         (:mod:`repro.parallel.bus`): workers append start / heartbeat /
@@ -162,26 +189,69 @@ class ParallelRunner:
         from the ``TAQ_OBS_BUS`` environment variable; None (and no env
         var) keeps the sweep bus-free.  The bus carries progress only,
         never results, so armed sweeps stay bit-identical.
+    store:
+        Optional :class:`~repro.parallel.jobs.JobStore` recording each
+        point's pending/running/done/failed state.  Defaults from the
+        ``TAQ_JOB_STORE`` environment variable (a store directory);
+        with neither, an in-memory throwaway store is used — same
+        executor path, nothing persisted.
+    keep_going:
+        When True, a point that raises is recorded as ``failed`` in
+        the store and the sweep continues (its result is simply absent
+        from the returned list).  The default False preserves the
+        historical contract: the first failure propagates.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = 1,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[CacheBackend] = None,
         progress: Optional[ProgressCallback] = None,
         perf=None,
         bus_dir: Optional[str] = None,
+        store: Optional[JobStore] = None,
+        keep_going: bool = False,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
         self.perf = perf
+        self.keep_going = keep_going
         if bus_dir is None:
             bus_dir = os.environ.get("TAQ_OBS_BUS") or None
         self.bus_dir = bus_dir
+        if store is None:
+            store_dir = os.environ.get("TAQ_JOB_STORE") or None
+            if store_dir:
+                store = JobStore(store_dir,
+                                 version=getattr(cache, "version", None))
+        self.store = store
 
+    # -- perf accounting -------------------------------------------------
+    def _count_cache(self, hit: bool) -> None:
+        if self.perf is None:
+            return
+        kind = getattr(self.cache, "kind", "dir")
+        if hit:
+            self.perf.cache_hits += 1
+            self.perf.count(f"parallel.cache.{kind}.hits")
+        else:
+            self.perf.cache_misses += 1
+            self.perf.count(f"parallel.cache.{kind}.misses")
+
+    # -- the executor ----------------------------------------------------
     def run(self, specs: Sequence[PointSpec]) -> List[PointResult]:
-        """Run *specs*, returning results in spec order."""
+        """Run *specs*, returning results in spec order.
+
+        Every spec becomes a job in the store (idempotent by content
+        id, so resubmitting a half-finished sweep is safe); cache hits
+        complete immediately, the rest execute and transition through
+        ``running`` to ``done`` (or ``failed``).
+        """
+        store = self.store if self.store is not None else JobStore(
+            None, version=getattr(self.cache, "version", None)
+        )
+        jobs = store.submit(list(specs))
         total = len(specs)
         results: List[Optional[PointResult]] = [None] * total
         done = 0
@@ -198,28 +268,37 @@ class ParallelRunner:
             else:
                 hit, lookup_time = None, 0.0
             if hit is not None:
-                if self.perf is not None:
-                    self.perf.cache_hits += 1
+                self._count_cache(hit=True)
                 value, wall_time = hit
                 results[index] = PointResult(
                     spec, value, wall_time, cached=True, lookup_time=lookup_time
                 )
                 done += 1
+                store.mark_done(jobs[index].job_id, wall_time, cached=True)
                 if bus is not None:
                     bus.emit(point_key(index, spec.describe()), "done",
                              wall=wall_time, cached=True)
                 self._report(done, total, results[index])
             else:
-                if self.perf is not None and self.cache is not None:
-                    self.perf.cache_misses += 1
+                if self.cache is not None:
+                    self._count_cache(hit=False)
                 pending.append(index)
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for index in pending:
-                done += 1
-                results[index] = self._run_one(specs[index], index, done, total)
-        else:
-            done = self._run_pool(specs, pending, results, done, total)
+        try:
+            if self.jobs == 1 or len(pending) <= 1:
+                for index in pending:
+                    result = self._run_one(
+                        specs[index], jobs[index].job_id, store, index,
+                        done + 1, total,
+                    )
+                    if result is not None:
+                        done += 1
+                        results[index] = result
+            else:
+                done = self._run_pool(specs, jobs, store, pending, results,
+                                      done, total)
+        finally:
+            store.maybe_compact()
         return [result for result in results if result is not None]
 
     def _execute_maybe_traced(self, spec: PointSpec, index: int):
@@ -229,22 +308,32 @@ class ParallelRunner:
             )
         return _execute(spec)
 
-    def _run_one(self, spec: PointSpec, index: int, done: int, total: int
-                 ) -> PointResult:
-        if self.perf is not None:
-            with self.perf.span("parallel.point"):
+    def _run_one(self, spec: PointSpec, job_id: str, store: JobStore,
+                 index: int, done: int, total: int) -> Optional[PointResult]:
+        store.mark_running(job_id, pid=os.getpid())
+        try:
+            if self.perf is not None:
+                with self.perf.span("parallel.point"):
+                    value, wall_time = self._execute_maybe_traced(spec, index)
+            else:
                 value, wall_time = self._execute_maybe_traced(spec, index)
-        else:
-            value, wall_time = self._execute_maybe_traced(spec, index)
+        except Exception as exc:
+            store.mark_failed(job_id, repr(exc))
+            if self.keep_going:
+                return None
+            raise
         result = PointResult(spec, value, wall_time)
         if self.cache is not None:
             self.cache.put(spec, value, wall_time)
+        store.mark_done(job_id, wall_time)
         self._report(done, total, result)
         return result
 
     def _run_pool(
         self,
         specs: Sequence[PointSpec],
+        jobs: Sequence,
+        store: JobStore,
         pending: List[int],
         results: List[Optional[PointResult]],
         done: int,
@@ -264,16 +353,25 @@ class ParallelRunner:
                 futures = {
                     pool.submit(_execute, specs[index]): index for index in pending
                 }
+            for index in pending:
+                store.mark_running(jobs[index].job_id)
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index = futures[future]
-                    value, wall_time = future.result()
+                    try:
+                        value, wall_time = future.result()
+                    except Exception as exc:
+                        store.mark_failed(jobs[index].job_id, repr(exc))
+                        if self.keep_going:
+                            continue
+                        raise
                     result = PointResult(specs[index], value, wall_time)
                     results[index] = result
                     if self.cache is not None:
                         self.cache.put(specs[index], value, wall_time)
+                    store.mark_done(jobs[index].job_id, wall_time)
                     done += 1
                     self._report(done, total, result)
         return done

@@ -17,7 +17,9 @@ Two kinds of instrument:
   heap, cancelled events discarded, callbacks dispatched, packets
   enqueued/dequeued/dropped/delivered, result-cache hits/misses.
   Everything else goes through :meth:`PerfProbe.count`, a named-counter
-  dict for colder paths (TAQ evictions, per-benchmark phases).
+  dict for colder paths (TAQ evictions, per-benchmark phases, and the
+  per-backend result-store split ``parallel.cache.<kind>.hits`` /
+  ``.misses`` where ``<kind>`` is ``dir``, ``sqlite``, or ``http``).
 - **Spans** measure wall time around coarse phases (``sim.run``,
   ``parallel.point``, benchmark build/run phases) via
   ``with probe.span("name"):`` — per-span call count, total and max

@@ -18,3 +18,18 @@ def slow_square(x, delay=0.05):
 
 def boom(message="boom"):
     raise RuntimeError(message)
+
+
+def hammer_backend(backend_spec, value, rounds, version="v1"):
+    """Rewrite the canonical ``square(x=3)`` entry *rounds* times.
+
+    Runs as the body of a child process in the concurrent-writer
+    tests, so it must be importable by dotted path and build its own
+    backend from the ``--cache-backend``-style string.
+    """
+    from repro.parallel import PointSpec, parse_backend
+
+    backend = parse_backend(backend_spec, version=version)
+    spec = PointSpec("tests.parallel.helpers:square", {"x": 3})
+    for round_index in range(rounds):
+        backend.put(spec, value, wall_time=0.001 * round_index)

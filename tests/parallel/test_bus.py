@@ -116,6 +116,41 @@ class TestHeartbeat:
         assert len([e for e in events if e["kind"] == "heartbeat"]) \
             == count_after_exit
 
+    def test_crash_path_still_stops_the_thread(self, tmp_path):
+        bus = ProgressBus(str(tmp_path))
+        heartbeat = None
+        with pytest.raises(RuntimeError, match="point blew up"):
+            with Heartbeat(bus, "p000-a", interval=0.05) as heartbeat:
+                time.sleep(0.12)
+                raise RuntimeError("point blew up")
+        # __exit__ joined the beat thread on the exception path: no
+        # lingering heartbeat outlives its point.
+        assert heartbeat is not None
+        assert not heartbeat.alive
+
+    def test_stop_is_idempotent(self, tmp_path):
+        bus = ProgressBus(str(tmp_path))
+        heartbeat = Heartbeat(bus, "p000-a", interval=0.05)
+        with heartbeat:
+            assert heartbeat.alive
+        assert heartbeat.stop() is True
+        assert heartbeat.stop() is True
+        assert not heartbeat.alive
+
+    def test_bus_write_failure_ends_the_thread_quietly(self, tmp_path):
+        class ExplodingBus(ProgressBus):
+            def emit(self, key, kind, **fields):
+                raise OSError("disk full")
+
+        bus = ExplodingBus(str(tmp_path))
+        with Heartbeat(bus, "p000-a", interval=0.01) as heartbeat:
+            deadline = time.time() + 5.0
+            while heartbeat.alive and time.time() < deadline:
+                time.sleep(0.01)
+            # The beat thread swallowed the OSError and exited on its
+            # own rather than spewing tracebacks from a worker.
+            assert not heartbeat.alive
+
 
 class TestRenderTail:
     def _state(self, status, **point):

@@ -1,10 +1,17 @@
 """Cache layer: keying, hit/miss, invalidation, graceful degradation."""
 
+import os
 import pickle
 
 import pytest
 
-from repro.parallel import PointSpec, ResultCache, code_version, spec_key
+from repro.parallel import (
+    PointSpec,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+    spec_key,
+)
 
 SPEC = PointSpec("tests.parallel.helpers:square", {"x": 3})
 
@@ -115,3 +122,36 @@ class TestDegradation:
             pickle.dumps(lambda: None)
         cache.put(SPEC, lambda: None, 0.1)
         assert not cache.enabled
+
+
+class TestDefaultCacheDir:
+    """XDG base-directory compliance of the default cache location."""
+
+    def test_repro_cache_dir_always_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/custom/cache")
+        monkeypatch.setenv("XDG_CACHE_HOME", "/xdg/cache")
+        assert default_cache_dir() == "/custom/cache"
+
+    def test_xdg_cache_home_is_honoured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "/xdg/cache")
+        assert default_cache_dir() == os.path.join("/xdg/cache", "repro")
+
+    def test_relative_xdg_cache_home_is_ignored(self, monkeypatch):
+        # The XDG spec: relative base-directory paths are invalid and
+        # must be ignored, falling through to the default.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "relative/cache")
+        expected = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+        assert default_cache_dir() == expected
+
+    def test_fallback_is_dot_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        expected = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+        assert default_cache_dir() == expected
+
+    def test_default_result_cache_lands_there(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "via-env"))
+        cache = ResultCache(version="v1")
+        assert str(cache.root) == str(tmp_path / "via-env")

@@ -58,3 +58,64 @@ def test_single_scenario_note_for_jobs(monkeypatch, capsys):
 
     assert cli.engine_kwargs(fig1, Namespace()) == {}
     assert "--jobs ignored" in capsys.readouterr().err
+
+
+def test_cache_backend_flag_selects_sqlite(tiny_fig02, capsys, tmp_path):
+    db = tmp_path / "entries.sqlite"
+    backend = f"sqlite:{db}"
+    assert cli.main(["fig02", "--jobs", "1", "--cache-backend", backend]) == 0
+    assert db.exists()
+    # The entries landed in sqlite, not the dir cache.
+    assert not list((tmp_path / "cache").rglob("*.pkl"))
+    # And the sqlite-backed rerun prints the same table.
+    first = capsys.readouterr().out
+    assert cli.main(["fig02", "--jobs", "1", "--cache-backend", backend]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cache_backend_env_var_applies(tiny_fig02, monkeypatch, tmp_path):
+    db = tmp_path / "env.sqlite"
+    monkeypatch.setenv("REPRO_CACHE_BACKEND", f"sqlite:{db}")
+    assert cli.main(["fig02", "--jobs", "1"]) == 0
+    assert db.exists()
+
+
+def test_cache_stats_json(tiny_fig02, capsys, tmp_path):
+    import json
+
+    assert cli.main(["fig02", "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert cli.main(["cache", "stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["kind"] == "dir"
+    assert stats["entries"] > 0
+    assert stats["enabled"] is True
+
+
+def test_cache_prune_empties_the_store(tiny_fig02, capsys):
+    assert cli.main(["fig02", "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert cli.main(["cache", "prune"]) == 0
+    assert "pruned" in capsys.readouterr().out
+    assert cli.main(["cache", "stats", "--json"]) == 0
+    import json
+
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_resume_flag_arms_the_job_store(tiny_fig02, monkeypatch, capsys,
+                                        tmp_path):
+    from repro.parallel import JobStore
+
+    monkeypatch.delenv("TAQ_JOB_STORE", raising=False)
+    store_dir = tmp_path / "sweep-jobs"
+    assert cli.main(["fig02", "--jobs", "1",
+                     "--resume", str(store_dir)]) == 0
+    assert (store_dir / "jobs.jsonl").is_file()
+    store = JobStore(str(store_dir))
+    assert len(store) > 0
+    assert store.counts()["done"] == len(store)
+    # Rerunning with --resume is idempotent: same jobs, all done.
+    assert cli.main(["fig02", "--jobs", "1",
+                     "--resume", str(store_dir)]) == 0
+    assert JobStore(str(store_dir)).counts() == store.counts()

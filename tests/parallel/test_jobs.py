@@ -1,0 +1,177 @@
+"""The durable job store: states, replay, compaction, schema safety."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel import JobStore, PointSpec, spec_key
+from repro.parallel.jobs import JOBS_FILE, JOBS_SCHEMA_VERSION
+
+
+def specs(n):
+    return [PointSpec("tests.parallel.helpers:square", {"x": i},
+                      label=f"x={i}") for i in range(n)]
+
+
+class TestInMemory:
+    def test_memory_store_is_not_persistent(self):
+        store = JobStore(None, version="v1")
+        assert not store.persistent
+        assert store.log_path is None
+        jobs = store.submit(specs(3))
+        assert len(store) == 3
+        store.mark_done(jobs[0].job_id, wall_time=1.0)
+        assert store.counts()["done"] == 1
+
+    def test_memory_store_skips_manifest_building(self):
+        store = JobStore(None, version="v1")
+        (job,) = store.submit(specs(1))
+        assert job.manifest == {}
+
+
+class TestSubmit:
+    def test_job_ids_are_cache_keys(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        (job,) = store.submit(specs(1))
+        assert job.job_id == spec_key(job.spec, "v1")
+
+    def test_submit_is_idempotent(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        first = store.submit(specs(3))
+        again = store.submit(specs(3))
+        assert len(store) == 3
+        assert [j.job_id for j in first] == [j.job_id for j in again]
+
+    def test_duplicate_specs_map_to_one_job(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        spec = specs(1)[0]
+        one, two = store.submit([spec, spec])
+        assert one is two
+        assert len(store) == 1
+
+    def test_persistent_jobs_carry_manifest_provenance(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        (job,) = store.submit(specs(1))
+        assert job.manifest["run_id"] == job.job_id
+        assert job.manifest["schema_version"] >= 3
+
+
+class TestStateMachine:
+    def test_lifecycle_counts(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(3))
+        store.mark_running(jobs[0].job_id, pid=42)
+        store.mark_done(jobs[0].job_id, wall_time=1.5, cached=False)
+        store.mark_running(jobs[1].job_id, pid=43)
+        store.mark_failed(jobs[1].job_id, "RuntimeError('boom')")
+        assert store.counts() == {"pending": 1, "running": 0,
+                                  "done": 1, "failed": 1}
+        assert store.pending() == [jobs[2]]
+        assert jobs[0].wall_time == 1.5
+        assert jobs[0].attempts == 1
+        assert jobs[1].error == "RuntimeError('boom')"
+
+    def test_reset_failed_requeues(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(2))
+        store.mark_failed(jobs[0].job_id, "boom")
+        assert store.reset_failed() == 1
+        assert store.counts()["pending"] == 2
+        assert jobs[0].error == ""
+
+    def test_summary_payload(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        store.submit(specs(2))
+        summary = store.summary()
+        assert summary["schema"] == JOBS_SCHEMA_VERSION
+        assert summary["total"] == 2
+        assert summary["counts"]["pending"] == 2
+        assert summary["interrupted"] == 0
+
+
+class TestReplay:
+    def test_states_survive_reopen(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(3))
+        store.mark_done(jobs[0].job_id, wall_time=2.5, cached=True)
+        store.mark_failed(jobs[1].job_id, "boom")
+        reopened = JobStore(str(tmp_path), version="v1")
+        assert reopened.counts() == {"pending": 1, "running": 0,
+                                     "done": 1, "failed": 1}
+        done = reopened.get(jobs[0].job_id)
+        assert done.wall_time == 2.5
+        assert done.cached is True
+        assert reopened.get(jobs[1].job_id).error == "boom"
+        # Submit order is preserved across replay.
+        assert [j.job_id for j in reopened] == [j.job_id for j in jobs]
+
+    def test_running_jobs_revert_to_pending_as_interrupted(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(3))
+        store.mark_running(jobs[0].job_id, pid=1)
+        store.mark_running(jobs[1].job_id, pid=2)
+        store.mark_done(jobs[1].job_id, wall_time=1.0)
+        reopened = JobStore(str(tmp_path), version="v1")
+        assert reopened.interrupted == 1
+        assert reopened.counts()["pending"] == 2
+        assert reopened.counts()["done"] == 1
+        # The interrupted job keeps its attempt count for forensics.
+        assert reopened.get(jobs[0].job_id).attempts == 1
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(2))
+        store.mark_done(jobs[0].job_id, wall_time=1.0)
+        with open(tmp_path / JOBS_FILE, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "state", "id": "aaa", "sta')  # SIGKILL
+        reopened = JobStore(str(tmp_path), version="v1")
+        assert reopened.counts()["done"] == 1
+        assert len(reopened) == 2
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        header = {"kind": "jobstore", "schema": JOBS_SCHEMA_VERSION + 1}
+        (tmp_path / JOBS_FILE).write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="newer than supported"):
+            JobStore(str(tmp_path), version="v1")
+
+
+class TestCompaction:
+    def churn(self, store, jobs, rounds=10):
+        for _ in range(rounds):
+            for job in jobs:
+                store.mark_running(job.job_id, pid=1)
+                store.mark_failed(job.job_id, "flaky")
+            store.reset_failed()
+
+    def test_compact_snapshots_to_one_record_per_job(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(3))
+        self.churn(store, jobs)
+        store.mark_done(jobs[0].job_id, wall_time=1.0)
+        before = len((tmp_path / JOBS_FILE).read_text().splitlines())
+        store.compact()
+        lines = (tmp_path / JOBS_FILE).read_text().splitlines()
+        assert len(lines) == len(jobs) + 1  # header + one per job
+        assert len(lines) < before
+        reopened = JobStore(str(tmp_path), version="v1")
+        assert reopened.counts() == store.counts()
+        assert [j.job_id for j in reopened] == [j.job_id for j in jobs]
+
+    def test_maybe_compact_fires_on_churn(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        jobs = store.submit(specs(2))
+        store.maybe_compact()  # fresh store: no reason to compact
+        assert len((tmp_path / JOBS_FILE).read_text().splitlines()) >= 3
+        self.churn(store, jobs, rounds=20)
+        store.maybe_compact()
+        lines = (tmp_path / JOBS_FILE).read_text().splitlines()
+        assert len(lines) == len(jobs) + 1
+
+    def test_compacted_log_keeps_manifests(self, tmp_path):
+        store = JobStore(str(tmp_path), version="v1")
+        (job,) = store.submit(specs(1))
+        store.compact()
+        reopened = JobStore(str(tmp_path), version="v1")
+        assert reopened.get(job.job_id).manifest["run_id"] == job.job_id
