@@ -33,6 +33,7 @@ from repro.build.harness import (
     manifest_payloads,
 )
 from repro.build.registries import (
+    BACKENDS,
     QUEUES,
     TOPOLOGIES,
     WORKLOADS,
@@ -41,6 +42,7 @@ from repro.build.registries import (
 )
 from repro.build.registry import Registry
 from repro.build.spec import (
+    BackendSpec,
     MetricsSpec,
     QueueSpec,
     ScenarioSpec,
@@ -51,6 +53,8 @@ from repro.build.spec import (
 load_builtins()
 
 __all__ = [
+    "BACKENDS",
+    "BackendSpec",
     "BuiltScenario",
     "DuplicateKindError",
     "MetricsSpec",

@@ -1,0 +1,21 @@
+"""The default ``packet`` backend, registered with :data:`BACKENDS`.
+
+The packet event simulator is the reference implementation — every
+golden, cache key, and manifest was recorded against it, so its
+registration wraps the historical assembly path unchanged (see
+:func:`repro.build.harness.build_simulation`; specs whose backend is
+``packet`` never even reach the registry dispatch).  The ``fluid``
+backend registers itself from :mod:`repro.fluid.backend`.
+"""
+
+from __future__ import annotations
+
+from repro.build.registries import BACKENDS
+
+
+@BACKENDS.register("packet")
+def build_packet(spec):
+    """Assemble the packet-level event simulation for *spec*."""
+    from repro.build.harness import _assemble_packet
+
+    return _assemble_packet(spec)

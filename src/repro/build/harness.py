@@ -14,7 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.build.registries import QUEUES, TOPOLOGIES, WORKLOADS, load_builtins, load_plugins
+from repro.build.registries import (
+    BACKENDS,
+    QUEUES,
+    TOPOLOGIES,
+    WORKLOADS,
+    load_builtins,
+    load_plugins,
+)
 from repro.build.spec import ScenarioSpec, TopologySpec
 from repro.obs.spans import active_recorder, arm_spans
 from repro.perf.probe import active_probe, arm_scenario
@@ -157,8 +164,25 @@ def build_queue(
     return QUEUES.create(kind, context, **params)
 
 
-def build_simulation(spec: ScenarioSpec) -> BuiltScenario:
+def build_simulation(spec: ScenarioSpec):
     """Construct everything a :class:`ScenarioSpec` describes.
+
+    Dispatches on the spec's backend: ``packet`` (the default) runs the
+    historical assembly below and returns a :class:`BuiltScenario`;
+    other kinds go through the backend registry (``fluid`` returns a
+    :class:`repro.fluid.BuiltFluid`).  Both expose ``spec`` and
+    ``run()``; callers needing packet-only internals should branch on
+    the type.
+    """
+    load_builtins()
+    load_plugins(spec.plugins)
+    if spec.backend.kind != "packet":
+        return BACKENDS.create(spec.backend.kind, spec, **spec.backend.params)
+    return _assemble_packet(spec)
+
+
+def _assemble_packet(spec: ScenarioSpec) -> BuiltScenario:
+    """The packet backend's assembly — the historical construction path.
 
     The assembly order is part of the contract (it fixes the RNG and
     event-scheduling order, which is what makes runs reproducible):
@@ -223,10 +247,12 @@ def build_simulation(spec: ScenarioSpec) -> BuiltScenario:
 
 
 def manifest_payloads(spec: ScenarioSpec) -> Dict[str, Dict[str, Any]]:
-    """``topology``/``qdisc``/``scenario`` dictionaries for a manifest."""
+    """``topology``/``qdisc``/``scenario``/``backend`` dictionaries for
+    a manifest."""
     document = spec.canonical()
     return {
         "topology": document["topology"],
         "qdisc": document["queue"],
         "scenario": document,
+        "backend": document.get("backend", {"kind": "packet"}),
     }

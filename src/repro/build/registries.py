@@ -1,4 +1,4 @@
-"""The three registries of the build plane, plus builtin loading.
+"""The registries of the build plane, plus builtin loading.
 
 Kept separate from :mod:`repro.build.registry` (the mechanism) and the
 builtin component modules (the population) so that plugin modules can
@@ -23,12 +23,20 @@ TOPOLOGIES = Registry("topology")
 #: :class:`repro.build.harness.WorkloadGroup`.
 WORKLOADS = Registry("workload")
 
+#: Simulation backends: builders take a full
+#: :class:`repro.build.ScenarioSpec` and return something with
+#: ``run()`` — the packet event simulator or the mean-field fluid
+#: integrator (:mod:`repro.fluid`).
+BACKENDS = Registry("backend")
+
 #: Modules whose import populates the registries with the built-in kinds.
 BUILTIN_MODULES = (
     "repro.build.builtin_queues",
     "repro.build.builtin_topologies",
     "repro.build.builtin_workloads",
     "repro.queues.favorqueue",
+    "repro.build.builtin_backends",
+    "repro.fluid.backend",
 )
 
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.build.errors import SpecError, unknown_key_message
 from repro.build.registries import (
+    BACKENDS,
     QUEUES,
     TOPOLOGIES,
     WORKLOADS,
@@ -198,6 +199,44 @@ class WorkloadSpec:
 
 
 @dataclass
+class BackendSpec:
+    """Which simulation engine executes the scenario.
+
+    ``packet`` (the default) is the reference event simulator — every
+    golden and cache key was recorded against it, and a default
+    backend is *omitted* from serialized documents so existing
+    documents, keys, and manifests stay byte-identical.  ``fluid``
+    selects the mean-field integrator (:mod:`repro.fluid`) with
+    kind-specific parameters (``dt``, ``wmax``, ``fault_leak``)
+    validated against the registered builder like every other plane.
+    """
+
+    kind: str = "packet"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    BASE_KEYS = ("kind",)
+
+    @property
+    def is_default(self) -> bool:
+        return self.kind == "packet" and not self.params
+
+    @classmethod
+    def from_document(cls, document: Any, context: str = "backend") -> "BackendSpec":
+        document = _require_mapping(document, context)
+        kind = document.get("kind", "packet")
+        BACKENDS.get(kind)
+        return cls(
+            kind=kind,
+            params=_split_params(document, cls.BASE_KEYS, BACKENDS, kind, context),
+        )
+
+    def to_document(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"kind": self.kind}
+        document.update(self.params)
+        return document
+
+
+@dataclass
 class MetricsSpec:
     """How results are collected."""
 
@@ -231,12 +270,15 @@ class ScenarioSpec:
     queue: QueueSpec = field(default_factory=QueueSpec)
     workloads: List[WorkloadSpec] = field(default_factory=list)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    #: Which engine runs it: packet event simulation (default) or the
+    #: mean-field fluid integrator.
+    backend: BackendSpec = field(default_factory=BackendSpec)
     #: Modules imported before building, so out-of-tree components can
     #: register themselves (see :func:`repro.build.load_plugins`).
     plugins: List[str] = field(default_factory=list)
 
     BASE_KEYS = ("name", "seed", "duration", "topology", "queue", "workloads",
-                 "metrics", "plugins")
+                 "metrics", "backend", "plugins")
 
     @classmethod
     def from_document(cls, document: Any, context: str = "scenario") -> "ScenarioSpec":
@@ -271,6 +313,7 @@ class ScenarioSpec:
             queue=queue,
             workloads=workloads,
             metrics=MetricsSpec.from_document(document.get("metrics", {})),
+            backend=BackendSpec.from_document(document.get("backend", {})),
             plugins=list(plugins),
         )
 
@@ -301,6 +344,10 @@ class ScenarioSpec:
             "workloads": [w.to_document() for w in self.workloads],
             "metrics": self.metrics.to_document(),
         }
+        if not self.backend.is_default:
+            # The default packet backend is omitted so pre-backend
+            # documents, cache keys, and manifests stay byte-identical.
+            document["backend"] = self.backend.to_document()
         if self.plugins:
             document["plugins"] = list(self.plugins)
         return document

@@ -19,6 +19,12 @@ Subcommands::
     taq-check diff-jobs scenario.json [--jobs-a 1] [--jobs-b 2]
         Run the same scenario points at two --jobs levels and demand
         bit-identical outcomes.
+
+    taq-check diff-backends scenario.json [--out report.json]
+        Packet-vs-fluid differential: the same document under the event
+        simulator and the mean-field integrator, metric agreement
+        checked against the declared tolerances; ``--out`` writes the
+        machine-readable agreement report (the CI artifact).
 """
 
 from __future__ import annotations
@@ -59,18 +65,26 @@ def _cmd_run(args) -> int:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
     built = build_simulation(spec)
-    built.sim.max_events = MAX_EVENTS
-    suite = attach_monitors(built, mode=args.mode)
-    built.run()
-    suite.finalize()
-    if suite.violations:
-        print(f"{len(suite.violations)} invariant violation(s) in {spec.name}:")
-        for violation in suite.violations:
+    if getattr(built, "backend", "packet") == "fluid":
+        # Fluid runs carry their own conservation monitors; replaying a
+        # shrunk fluid repro goes through the same command.
+        result = built.run()
+        violations = list(built.violations)
+        checked = f"{result.steps} fluid steps checked"
+    else:
+        built.sim.max_events = MAX_EVENTS
+        suite = attach_monitors(built, mode=args.mode)
+        built.run()
+        suite.finalize()
+        violations = list(suite.violations)
+        checked = f"{built.sim.processed} events checked"
+    if violations:
+        print(f"{len(violations)} invariant violation(s) in {spec.name}:")
+        for violation in violations:
             print(f"  [{violation.monitor}] t={violation.time:.6f}: "
                   f"{violation.message}")
         return 1
-    print(f"{spec.name}: all invariants held "
-          f"({built.sim.processed} events checked)")
+    print(f"{spec.name}: all invariants held ({checked})")
     return 0
 
 
@@ -115,6 +129,33 @@ def _cmd_diff_jobs(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_diff_backends(args) -> int:
+    import json
+
+    from repro.build import ScenarioSpec, SpecError
+    from repro.check.differential import compare_backends
+
+    try:
+        spec = ScenarioSpec.from_file(args.scenario_file)
+    except (SpecError, OSError) as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_backends(spec, monitors=not args.no_monitors)
+    for relation in report.relations:
+        marker = "ok " if relation.holds else "FAIL"
+        print(f"  {marker} {relation.name}: {relation.detail}")
+    for violation in report.violations:
+        print(f"  FAIL invariant [{violation.monitor}]: {violation.message}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"agreement report written to {args.out}")
+    print(("backends agree" if report.ok else "backend differential FAILED")
+          + f" ({report.arms[0]} vs {report.arms[1]})")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="taq-check",
@@ -149,6 +190,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     diff_jobs.add_argument("--points", type=int, default=3,
                            help="seed-shifted copies making up the sweep")
     diff_jobs.set_defaults(func=_cmd_diff_jobs)
+
+    diff_backends = sub.add_parser(
+        "diff-backends", help="packet vs fluid metric agreement"
+    )
+    diff_backends.add_argument("scenario_file")
+    diff_backends.add_argument("--out", default=None,
+                               help="write the agreement report JSON here")
+    diff_backends.add_argument("--no-monitors", action="store_true",
+                               help="skip the packet-arm monitor suite")
+    diff_backends.set_defaults(func=_cmd_diff_backends)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -14,6 +14,11 @@ plane so the *same* scenario document drives every arm:
 - :func:`compare_jobs` runs one spec through the parallel engine at two
   ``--jobs`` values and asserts bit-identical outcomes: process fan-out
   is an execution detail, never a result-changing one.
+- :func:`compare_backends` runs one spec through the packet event
+  simulator and the mean-field fluid integrator and asserts agreement
+  on loss rate, mean queue, and Jain fairness within declared
+  tolerances (:class:`BackendTolerances`) — the gate that earns the
+  fluid backend trust at small N before it is used at N = 10^6.
 
 Failures are collected in a :class:`DifferentialReport` rather than
 raised, so the fuzzer can fold them into its shrinking loop like any
@@ -207,6 +212,142 @@ def compare_disciplines(
             "droptail-drops-gte-taq",
             base_drops >= cand_drops,
             f"droptail dropped {base_drops}, {candidate} dropped {cand_drops}",
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Backend differential (packet vs fluid)
+# ----------------------------------------------------------------------
+
+def respec_backend(spec: ScenarioSpec, kind: str, **params: Any) -> ScenarioSpec:
+    """A copy of *spec* running under backend *kind* (clean params)."""
+    document = spec.to_document()
+    document.pop("backend", None)
+    if kind != "packet" or params:
+        document["backend"] = {"kind": kind, **params}
+    return ScenarioSpec.from_document(document)
+
+
+@dataclass
+class BackendTolerances:
+    """Declared fluid-vs-packet agreement bands (see ``docs/fluid.md``).
+
+    A metric agrees when ``|packet - fluid| <= max(abs, rel * max(|packet|,
+    |fluid|))``.  The defaults were calibrated on the differential suite
+    (DropTail/RED/TAQ at N in {4, 16, 64} straddling SPK): loss rates
+    track within a few hundredths; the queue gets the widest band
+    because at small N a handful of synchronized sawtooths drain the
+    buffer between loss events while the mean-field limit holds it near
+    its fixed point; Jain — where a packet run of N flows is a *sample*
+    whose variance the mean-field limit integrates out — within a
+    quarter.
+    """
+
+    loss_abs: float = 0.03
+    loss_rel: float = 0.35
+    queue_abs: float = 12.0
+    queue_rel: float = 0.60
+    jain_abs: float = 0.25
+    utilization_abs: float = 0.12
+
+    def close(self, metric: str, packet: float, fluid: float) -> bool:
+        abs_tol = getattr(self, f"{metric}_abs")
+        rel_tol = getattr(self, f"{metric}_rel", 0.0)
+        band = max(abs_tol, rel_tol * max(abs(packet), abs(fluid)))
+        return abs(packet - fluid) <= band
+
+
+def packet_mean_queue(built, samples: int = 200) -> float:
+    """Arm a side-effect-free queue sampler on a *built* packet scenario.
+
+    Schedules ``samples`` reads of ``len(queue)`` across the spec
+    duration *before* the run; callbacks only read the queue length, so
+    the simulated results stay bit-identical to an unsampled run.
+    Returns a closure to call after ``built.run()`` for the mean.
+    """
+    readings: List[int] = []
+    queue = built.queue
+    period = built.spec.duration / samples
+
+    def sample() -> None:
+        readings.append(len(queue))
+
+    for i in range(1, samples + 1):
+        built.sim.schedule_at(i * period, sample)
+    return lambda: (sum(readings) / len(readings)) if readings else 0.0
+
+
+def compare_backends(
+    spec: ScenarioSpec,
+    tolerances: Optional[BackendTolerances] = None,
+    monitors: bool = True,
+    backend_params: Optional[Dict[str, Any]] = None,
+) -> DifferentialReport:
+    """Run *spec* under both backends and check metric agreement.
+
+    The packet arm runs the full event simulation (with the passive
+    monitor suite when *monitors* is set, plus a read-only queue
+    sampler for the mean queue); the fluid arm runs the mean-field
+    integrator, whose built-in conservation monitors feed the same
+    violations list.  Relations: loss rate, mean queue, short- and
+    long-term Jain, and utilization, each within
+    :class:`BackendTolerances`.
+    """
+    tolerances = tolerances or BackendTolerances()
+    packet_spec = respec_backend(spec, "packet")
+    fluid_spec = respec_backend(spec, "fluid", **(backend_params or {}))
+    report = DifferentialReport(scenario=spec.name, arms=("packet", "fluid"))
+
+    packet_built = build_simulation(packet_spec)
+    mean_queue = packet_mean_queue(packet_built)
+    suite = attach_monitors(packet_built, mode="collect") if monitors else None
+    packet_built.run()
+    if suite is not None:
+        suite.finalize()
+        report.violations.extend(suite.violations)
+    flow_ids = [f.flow_id for f in packet_built.all_flows()]
+    packet_metrics = {
+        "loss": packet_built.queue.loss_rate(),
+        "queue": mean_queue(),
+        "jain_short": packet_built.collector.mean_short_term_jain(flow_ids),
+        "jain_long": packet_built.collector.long_term_jain(flow_ids),
+        "utilization": packet_built.topology.forward.stats.utilization(
+            packet_spec.topology.capacity_bps, packet_spec.duration
+        ),
+    }
+
+    fluid_built = build_simulation(fluid_spec)
+    fluid_result = fluid_built.run()
+    report.violations.extend(fluid_built.violations)
+    fluid_metrics = {
+        "loss": fluid_result.loss_rate,
+        "queue": fluid_result.mean_queue_pkts,
+        "jain_short": fluid_result.short_term_jain,
+        "jain_long": fluid_result.long_term_jain,
+        "utilization": fluid_result.utilization,
+    }
+
+    for name, metric in (
+        ("loss-rate", "loss"),
+        ("mean-queue", "queue"),
+        ("short-term-jain", "jain"),
+        ("long-term-jain", "jain"),
+        ("utilization", "utilization"),
+    ):
+        key = {
+            "loss-rate": "loss",
+            "mean-queue": "queue",
+            "short-term-jain": "jain_short",
+            "long-term-jain": "jain_long",
+            "utilization": "utilization",
+        }[name]
+        packet_value = packet_metrics[key]
+        fluid_value = fluid_metrics[key]
+        report.check(
+            f"backend-{name}",
+            tolerances.close(metric, packet_value, fluid_value),
+            f"packet {packet_value:.4f} vs fluid {fluid_value:.4f}",
         )
     return report
 

@@ -38,6 +38,15 @@ MAX_EVENTS = 2_000_000
 
 QUEUE_KINDS = ("droptail", "red", "sfq", "taq", "taq+ac")
 
+#: Queue kinds the mean-field backend has drop laws for — the fuzzer
+#: only pairs ``backend: fluid`` with these (and with bulk-only
+#: workloads, the fluid validity domain).
+FLUID_QUEUE_KINDS = ("droptail", "red", "taq", "taq+ac")
+
+#: Fraction of fuzz cases routed through the fluid backend, exercising
+#: its conservation monitors and the shrinker on fluid repros.
+FLUID_CASE_RATE = 0.25
+
 
 def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
     """One random-but-valid scenario document.
@@ -50,7 +59,8 @@ def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
     rtt = rng.choice([0.05, 0.1, 0.2, 0.4])
     pkt_size = rng.choice([250, 500, 1000])
     duration = rng.uniform(5.0, 20.0)
-    queue_kind = rng.choice(QUEUE_KINDS)
+    fluid = rng.random() < FLUID_CASE_RATE
+    queue_kind = rng.choice(FLUID_QUEUE_KINDS if fluid else QUEUE_KINDS)
     queue: Dict[str, Any] = {
         "kind": queue_kind,
         "buffer_rtts": rng.choice([0.5, 1.0, 2.0]),
@@ -65,7 +75,7 @@ def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
             "start_window": round(rng.uniform(0.5, 4.0), 3),
         }
     ]
-    if rng.random() < 0.4:
+    if not fluid and rng.random() < 0.4:
         workloads.append(
             {
                 "type": "web",
@@ -76,7 +86,7 @@ def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
                 "start_window": round(rng.uniform(0.5, 4.0), 3),
             }
         )
-    if rng.random() < 0.3:
+    if not fluid and rng.random() < 0.3:
         workloads.append(
             {
                 "type": "short",
@@ -85,7 +95,14 @@ def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
                 "spacing": round(rng.uniform(0.2, 1.5), 3),
             }
         )
-    return {
+    backend: Dict[str, Any] = {}
+    if fluid:
+        backend = {"kind": "fluid"}
+        if rng.random() < 0.5:
+            backend["rtt_buckets"] = rng.choice([1, 2, 4])
+        if rng.random() < 0.25:
+            backend["wmax"] = rng.choice([6, 12, 24])
+    document: Dict[str, Any] = {
         "name": f"fuzz-{case_seed}",
         "seed": case_seed % 100_000,
         "duration": round(duration, 3),
@@ -99,13 +116,25 @@ def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
         "workloads": workloads,
         "metrics": {"slice_seconds": 5.0},
     }
+    if backend:
+        document["backend"] = backend
+    return document
 
 
 def run_case(document: Dict[str, Any]) -> List[Violation]:
     """Build + run one document with every monitor armed (collect mode);
-    returns the violations (empty on a clean run)."""
+    returns the violations (empty on a clean run).
+
+    Packet runs get the external monitor suite; fluid runs carry their
+    own conservation monitors (mass, positivity, queue bounds) whose
+    violations come back through the same :class:`Violation` type, so
+    shrinking works unchanged on fluid repros.
+    """
     spec = ScenarioSpec.from_document(document)
     built = build_simulation(spec)
+    if getattr(built, "backend", "packet") == "fluid":
+        built.run()
+        return list(built.violations)
     built.sim.max_events = MAX_EVENTS
     suite = attach_monitors(built, mode="collect")
     built.run()

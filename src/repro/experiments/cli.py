@@ -102,13 +102,18 @@ def _run_scenarios(args) -> int:
     the runs fan out across the process pool; outcomes print in file
     order either way, so jobs=1 and jobs=N output is identical.
     """
-    from repro.build import ScenarioSpec
+    from repro.build import BackendSpec, ScenarioSpec
     from repro.experiments.scenario import ScenarioError, run_scenario
 
     specs = []
     for path in args.scenario_file:
         try:
-            specs.append(ScenarioSpec.from_file(path))
+            spec = ScenarioSpec.from_file(path)
+            if args.backend is not None:
+                # Override, not merge: the CLI flag selects the engine,
+                # backend params stay with the document that set them.
+                spec.backend = BackendSpec(kind=args.backend)
+            specs.append(spec)
         except (ScenarioError, OSError) as exc:
             print(f"scenario error: {exc}", file=sys.stderr)
             return 2
@@ -137,8 +142,14 @@ def _run_scenarios(args) -> int:
 
         points = [
             PointSpec(
-                "repro.experiments.scenario:run_scenario_file",
-                dict(path=path),
+                # With a backend override the file no longer describes
+                # the run; ship the overridden document instead.
+                "repro.experiments.scenario:run_scenario"
+                if args.backend is not None
+                else "repro.experiments.scenario:run_scenario_file",
+                dict(document=spec.to_document())
+                if args.backend is not None
+                else dict(path=path),
                 label=spec.name,
                 scenario=spec.canonical(),
             )
@@ -273,6 +284,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--chart", action="store_true",
         help="also render an ASCII chart (where the experiment supports it)",
+    )
+    parser.add_argument(
+        "--backend", choices=("packet", "fluid"), default=None,
+        help="with the 'scenario' command: override the documents' "
+             "simulation backend (packet event simulation vs the "
+             "mean-field fluid integrator; see docs/fluid.md)",
     )
     parser.add_argument(
         "--spans", metavar="PATH", default=None,

@@ -107,6 +107,11 @@ def run_scenario(document: Union[Dict[str, Any], ScenarioSpec]) -> ScenarioOutco
         else ScenarioSpec.from_document(document)
     )
     built = build_simulation(spec)
+    if hasattr(built, "scenario_outcome"):
+        # Non-packet backends (the fluid integrator) reduce themselves
+        # to the standard metric set.
+        built.run()
+        return built.scenario_outcome()
     built.run()
 
     all_flows = built.all_flows()

@@ -1,0 +1,40 @@
+"""Mean-field fluid backend: million-flow regimes in bounded memory.
+
+The packet backend (:mod:`repro.sim`) simulates every packet; this
+package simulates the *distribution* of flows over the paper's Markov
+window states (ROADMAP item 2, McDonald–Reynier in PAPERS.md).  Cost
+per step is independent of the flow count, so N = 10^6 is as cheap as
+N = 4 — the price is that results are expectations of an approximation,
+which is why the fluid backend ships inside a differential test
+campaign (`tests/fluid/`, :func:`repro.check.differential.compare_backends`)
+rather than on its own.  See ``docs/fluid.md`` for the model, the
+agreement tolerances, and the validity envelope.
+
+Select it per scenario with ``"backend": {"kind": "fluid"}`` — the
+default ``packet`` backend stays bit-identical to every golden.
+"""
+
+from repro.fluid.backend import BuiltFluid, build_fluid
+from repro.fluid.core import (
+    FluidClass,
+    FluidModel,
+    FluidResult,
+    LinkState,
+    MASS_RTOL,
+)
+from repro.fluid.disciplines import FLUID_DISCIPLINES, droptail, pinned, red, taq
+
+__all__ = [
+    "BuiltFluid",
+    "build_fluid",
+    "FluidClass",
+    "FluidModel",
+    "FluidResult",
+    "LinkState",
+    "MASS_RTOL",
+    "FLUID_DISCIPLINES",
+    "droptail",
+    "pinned",
+    "red",
+    "taq",
+]

@@ -1,0 +1,184 @@
+"""Fluid drop models for the bottleneck disciplines.
+
+Each factory returns a callable ``discipline(link: LinkState) ->
+p[c, s]`` — the per-class, per-state drop probability for packets
+offered during this step.  These are *fluid counterparts* of the
+packet queues in :mod:`repro.queues`, not reimplementations: they model
+the stationary drop behaviour the packet discipline converges to, and
+``docs/fluid.md`` documents where the two disagree by design.
+
+The common building block is the *absorbable rate*: in one step the
+bottleneck can carry ``capacity_pps`` plus whatever free buffer is
+left, ``(buffer - q) / dt``.  Offering more than that must shed the
+excess — that is exactly tail drop, and every discipline uses it as its
+overflow backstop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.fluid.core import Discipline, LinkState
+
+#: Registered fluid drop models, keyed by the queue-spec kind they
+#: approximate.  ``taq+ac`` maps to the same drop model as ``taq`` —
+#: admission control happens before the integrator runs (see
+#: :func:`repro.fluid.backend.build_fluid`).
+FLUID_DISCIPLINES: Dict[str, Callable[..., Discipline]] = {}
+
+
+def _register(name: str):
+    def decorate(factory):
+        FLUID_DISCIPLINES[name] = factory
+        return factory
+    return decorate
+
+
+def _overflow_fraction(link: LinkState) -> float:
+    """Fraction of offered load that cannot be absorbed this step."""
+    if link.offered_pps <= 0.0:
+        return 0.0
+    absorbable = link.capacity_pps + max(0.0, link.buffer_pkts - link.q) / link.dt
+    return max(0.0, 1.0 - absorbable / link.offered_pps)
+
+
+@_register("droptail")
+def droptail() -> Discipline:
+    """Tail drop: lossless until the buffer fills, then shed the excess.
+
+    The drop probability is state-blind (every packet of every flow
+    sees the same overflow odds), which is precisely the paper's DT
+    baseline behaviour in the fluid limit.
+    """
+
+    def discipline(link: LinkState) -> np.ndarray:
+        return np.array([[_overflow_fraction(link)]])
+
+    return discipline
+
+
+@_register("red")
+def red(
+    min_th: Optional[float] = None,
+    max_th: Optional[float] = None,
+    max_p: float = 0.1,
+    weight: float = 0.002,
+) -> Discipline:
+    """Random Early Detection in the fluid limit.
+
+    Mirrors :class:`repro.queues.REDQueue`: an EWMA average queue with
+    per-packet weight ``w`` (applied once per *arrival*, so the step
+    update uses ``1 - (1-w)^(arrivals in step)``), a linear ramp from
+    ``min_th`` to ``max_th``, forced drops above ``max_th``, and the
+    tail-drop backstop.  The inter-drop count correction that spaces
+    early drops uniformly raises the effective drop rate of the ramp to
+    ``2 p_b / (1 + p_b)`` (the mean gap of a uniform ``{1..1/p_b}``
+    spacing), which is what the fluid ramp uses.
+
+    Thresholds default to the packet queue's rule of thumb:
+    ``min_th = buffer / 4``, ``max_th = 3 * min_th``.
+    """
+    if max_th is not None and min_th is not None and max_th < min_th:
+        raise ValueError("max_th must be >= min_th")
+    if not 0.0 <= max_p <= 1.0:
+        raise ValueError("max_p must be in [0, 1]")
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("weight must be in [0, 1]")
+    state = {"avg": 0.0}
+
+    def discipline(link: LinkState) -> np.ndarray:
+        lo = min_th if min_th is not None else max(1.0, link.buffer_pkts / 4.0)
+        hi = max_th if max_th is not None else min(link.buffer_pkts, 3.0 * lo)
+        arrivals = link.offered_pps * link.dt
+        alpha = 1.0 - (1.0 - weight) ** arrivals
+        state["avg"] += alpha * (link.q - state["avg"])
+        avg = state["avg"]
+        if avg >= hi:
+            early = 1.0
+        elif avg >= lo and hi > lo:
+            pb = max_p * (avg - lo) / (hi - lo)
+            early = min(1.0, 2.0 * pb / (1.0 + pb))
+        else:
+            early = 0.0
+        return np.array([[max(early, _overflow_fraction(link))]])
+
+    return discipline
+
+
+@_register("taq")
+def taq(target_occupancy: float = 1.0, p_cap: float = 0.49) -> Discipline:
+    """The TAQ scheduler's drop behaviour, mean-field approximated.
+
+    TAQ classifies flows by their epoch window against the fair share
+    and sheds overload from above-share flows first while protecting
+    recovery traffic (retransmissions, post-timeout restarts).  The
+    fluid analogue: compute the aggregate excess fraction (same
+    backstop as droptail, with the buffer scaled by
+    ``target_occupancy``), then distribute that drop mass over chain
+    states proportionally to how far each state's window exceeds the
+    fair share — states at or below fair share, and the recovery states
+    ``S1``/``b0``/``b*``, are only touched if the preferred states
+    cannot shed enough on their own (per-state probabilities are capped
+    at ``p_cap`` to stay inside the chain's validity envelope).
+    """
+    if not 0.0 < target_occupancy <= 1.0:
+        raise ValueError("target_occupancy must be in (0, 1]")
+
+    def discipline(link: LinkState) -> np.ndarray:
+        if link.offered_pps <= 0.0:
+            return np.zeros_like(link.rate)
+        buffer = link.buffer_pkts * target_occupancy
+        absorbable = link.capacity_pps + max(0.0, buffer - link.q) / link.dt
+        excess = max(0.0, 1.0 - absorbable / link.offered_pps)
+        if excess <= 0.0:
+            return np.zeros_like(link.rate)
+        target_drop_pps = excess * link.offered_pps
+
+        # Preference: how far above the class fair share each state's
+        # window sits.  sent[s] is per-epoch, fair_window per-epoch too.
+        over = np.clip(
+            link.sent[None, :] - link.fair_window[:, None], 0.0, None
+        )
+        p = np.zeros_like(link.rate)
+        weighted = float((link.rate * over).sum())
+        if weighted > 0.0:
+            lam = target_drop_pps / weighted
+            p = np.minimum(lam * over, p_cap)
+        # Whatever the preferred states could not shed falls back on
+        # every sending state uniformly (recovery included) — the
+        # buffer is physical and must not overflow.
+        shed = float((link.rate * p).sum())
+        deficit = target_drop_pps - shed
+        if deficit > 1e-12:
+            sending = (link.sent > 0)[None, :] & (link.rate > 0)
+            base = float(link.rate[sending].sum())
+            if base > 0.0:
+                p = np.where(sending, np.minimum(p + deficit / base, 1.0), p)
+        return p
+
+    return discipline
+
+
+# Admission control reshapes the population, not the drop law.
+FLUID_DISCIPLINES["taq+ac"] = taq
+
+
+@_register("pinned")
+def pinned(p: float) -> Discipline:
+    """A constant, discipline-free loss probability.
+
+    Not a real queue — the calibration mode that makes the fluid
+    integrator directly comparable to :mod:`repro.model`: with loss
+    pinned, the histogram must relax to the chain's stationary
+    distribution at ``p`` (the uniformized update shares its fixed
+    point), which is the third leg of the differential campaign.
+    """
+    if not 0.0 <= p < 0.5:
+        raise ValueError("pinned loss must be in [0, 0.5)")
+
+    def discipline(link: LinkState) -> np.ndarray:
+        return np.array([[p]])
+
+    return discipline

@@ -34,6 +34,17 @@ from repro.model.analysis import (
     timeout_probability,
 )
 from repro.model.census import packets_sent_census
+from repro.model.population import (
+    P_CHAIN_MAX,
+    PopulationEquilibrium,
+    packets_per_state,
+    population_fixed_point,
+    slice_jain,
+    slice_moments,
+    state_layout,
+    stationary_distribution,
+    transition_matrix,
+)
 from repro.model.padhye import (
     padhye_throughput_pkts_per_rtt,
     padhye_throughput_pps,
@@ -52,6 +63,15 @@ __all__ = [
     "silence_probability",
     "timeout_probability",
     "packets_sent_census",
+    "P_CHAIN_MAX",
+    "PopulationEquilibrium",
+    "packets_per_state",
+    "population_fixed_point",
+    "slice_jain",
+    "slice_moments",
+    "state_layout",
+    "stationary_distribution",
+    "transition_matrix",
     "padhye_throughput_pkts_per_rtt",
     "padhye_throughput_pps",
     "stationary_throughput_pkts_per_epoch",

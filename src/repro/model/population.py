@@ -1,0 +1,299 @@
+"""Population (mean-field) extension of the paper's Markov model.
+
+The paper's §3.1 chains describe *one* flow facing a fixed per-packet
+loss probability ``p``.  This module lifts that single-flow chain to a
+population of ``N`` exchangeable flows sharing one bottleneck, which is
+exactly the McDonald–Reynier mean-field construction (PAPERS.md): as
+``N`` grows, the empirical distribution of per-flow window states
+concentrates on a deterministic trajectory whose stationary point is a
+*fixed point* — the loss probability the population generates must equal
+the loss probability each flow's chain was solved against.
+
+Three pieces, all numpy-vectorized so :mod:`repro.fluid` can call them
+inside its integration loop:
+
+- :func:`transition_matrix` — the partial model's per-epoch transition
+  matrix as a dense array, optionally with a *per-state* loss vector
+  (TAQ's scheduler is state-aware: flows in recovery see a different
+  drop probability than fair-share hogs).  With a scalar ``p`` it is
+  bit-for-bit the matrix :func:`repro.model.build_partial_model`
+  produces.
+- :func:`population_fixed_point` — the self-consistent ``(p, pi)`` for
+  ``N`` flows over a bottleneck of given packet rate: each flow offers
+  ``E_pi[packets/epoch]``, the bottleneck serves what it can, and the
+  overload fraction must reproduce ``p``.
+- :func:`slice_jain` — the Jain fairness index of per-flow goodput
+  measured over a slice of ``m`` epochs, in the ``N -> infinity`` limit.
+  For iid flows Jain converges to ``E[X]^2 / E[X^2]`` where ``X`` is one
+  flow's packets delivered during the slice; the variance of this
+  Markov-additive reward is computed exactly from the transition matrix
+  (no sampling), which is what lets the fluid backend report the same
+  short-term fairness metric the packet simulator measures from 20 s
+  goodput slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+#: Loss probabilities are clipped here before entering the chain: the
+#: aggregated timeout state's geometry (``P(b* -> b*) = 2p``) diverges
+#: at ``p = 0.5``, so the model is only trusted below it (see
+#: ``docs/fluid.md`` for the validity envelope).
+P_CHAIN_MAX = 0.49
+
+
+def state_layout(wmax: int = 6) -> List[str]:
+    """State names in the exact order :func:`build_partial_model` uses."""
+    if wmax < 4:
+        raise ValueError("wmax must be >= 4 so fast retransmit can exist")
+    return ["S1", "b0", "b*"] + [f"S{n}" for n in range(2, wmax + 1)]
+
+
+def packets_per_state(wmax: int = 6) -> np.ndarray:
+    """Packets transmitted per epoch in each state (census mapping)."""
+    # S1 sends the single retransmission; b0/b* are silent; Sn sends n.
+    return np.array([1, 0, 0] + list(range(2, wmax + 1)), dtype=float)
+
+
+def _loss_vector(p: Union[float, np.ndarray], n_states: int) -> np.ndarray:
+    vector = np.asarray(p, dtype=float)
+    if vector.ndim == 0:
+        vector = np.full(n_states, float(vector))
+    if vector.shape != (n_states,):
+        raise ValueError(
+            f"per-state loss vector must have {n_states} entries, "
+            f"got shape {vector.shape}"
+        )
+    if np.any(vector < 0.0) or np.any(vector >= 0.5):
+        raise ValueError(
+            "loss probabilities outside [0, 0.5): the aggregated timeout "
+            "state's expected idle time 1/(1-2p) diverges at 0.5"
+        )
+    return vector
+
+
+def transition_matrix(p: Union[float, np.ndarray], wmax: int = 6) -> np.ndarray:
+    """The partial model's per-epoch transition matrix as a dense array.
+
+    Parameters
+    ----------
+    p:
+        Either one scalar loss probability (the paper's setting — the
+        result then equals ``build_partial_model(p, wmax).matrix()``
+        exactly) or a per-state vector in :func:`state_layout` order:
+        entry ``i`` is the per-packet drop probability experienced by
+        packets sent *from* state ``i``.  The vector form is what the
+        fluid TAQ approximation feeds in — TAQ drops preferentially
+        from above-fair-share windows and protects recovery traffic.
+    wmax:
+        Maximum congestion window (>= 4).
+    """
+    states = state_layout(wmax)
+    n_states = len(states)
+    pv = _loss_vector(p, n_states)
+    index = {name: i for i, name in enumerate(states)}
+    T = np.zeros((n_states, n_states))
+
+    p1 = pv[index["S1"]]
+    T[index["S1"], index["S2"]] = 1.0 - p1   # successful retransmit
+    T[index["S1"], index["b*"]] = p1         # lost retransmit: backoff
+    T[index["b0"], index["S1"]] = 1.0
+    pb = pv[index["b*"]]
+    T[index["b*"], index["S1"]] = 1.0 - 2.0 * pb  # eq. 9
+    T[index["b*"], index["b*"]] = 2.0 * pb        # eq. 10
+
+    for n in range(2, wmax + 1):
+        src = index[f"S{n}"]
+        pn = pv[src]
+        success = (1.0 - pn) ** n
+        fast = n * pn * (1.0 - pn) ** n if n >= 4 else 0.0
+        rto = max(0.0, 1.0 - success - fast)
+        T[src, index[f"S{min(n + 1, wmax)}"]] += success
+        if fast > 0.0:
+            T[src, index[f"S{n // 2}"]] += fast
+        if rto > 0.0:
+            # Simple timeouts (n >= 4, fresh RTT state) pass through the
+            # empty-buffer epoch; S2/S3 carry backoff memory.
+            T[src, index["b0" if n >= 4 else "b*"]] += rto
+    return T
+
+
+def stationary_distribution(T: np.ndarray) -> np.ndarray:
+    """Stationary row vector of a row-stochastic matrix (least squares,
+    the same solver :meth:`repro.model.MarkovChain.stationary` uses)."""
+    n = T.shape[0]
+    A = np.vstack([(T.T - np.eye(n)), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+@dataclass
+class PopulationEquilibrium:
+    """The self-consistent operating point of ``N`` flows at one
+    bottleneck."""
+
+    #: Fixed-point per-packet loss probability.
+    p: float
+    #: Stationary state distribution at ``p`` (state_layout order).
+    pi: np.ndarray
+    #: Expected packets one flow offers per epoch at equilibrium.
+    packets_per_epoch: float
+    #: Aggregate offered rate, packets/second.
+    offered_pps: float
+    #: Aggregate delivered rate (offered minus drops), packets/second.
+    delivered_pps: float
+    #: Epoch duration used (RTT plus queueing delay), seconds.
+    epoch_seconds: float
+    #: Whether the fixed-point iteration converged within tolerance.
+    converged: bool
+
+    def census(self) -> Dict[int, float]:
+        """``{k: P(flow sends k packets per epoch)}`` at equilibrium."""
+        wmax = len(self.pi) - 3 + 1
+        sent = packets_per_state(wmax)
+        census: Dict[int, float] = {}
+        for value, probability in zip(sent, self.pi):
+            census[int(value)] = census.get(int(value), 0.0) + float(probability)
+        return census
+
+
+def population_fixed_point(
+    n_flows: int,
+    capacity_pps: float,
+    rtt: float,
+    queue_pkts: float = 0.0,
+    wmax: int = 6,
+    damping: float = 0.5,
+    tolerance: float = 1e-12,
+    max_iterations: int = 2000,
+) -> PopulationEquilibrium:
+    """Solve the mean-field fixed point for ``N`` flows.
+
+    Each flow runs the partial model at loss probability ``p``; the
+    population offers ``N * E_pi(p)[packets/epoch] / epoch`` packets per
+    second against a bottleneck serving ``capacity_pps``.  The overload
+    fraction is the loss probability the buffer imposes, and the fixed
+    point is where the two agree:
+
+        ``p = max(0, 1 - capacity_pps / offered_pps(p))``
+
+    ``queue_pkts`` is the expected standing queue (a full buffer under
+    droptail overload); it lengthens the epoch by the queueing delay.
+    The offered load is monotone decreasing in ``p`` (higher loss means
+    smaller windows and more silence), so the root of
+    ``excess(p) = overload(offered(p)) - p`` is found by bisection —
+    robust even where the map is too steep for damped iteration.  A
+    ``p`` pinned at :data:`P_CHAIN_MAX` means the population is beyond
+    the chain's validity envelope (sub-packet collapse).
+    """
+    if n_flows < 1:
+        raise ValueError("n_flows must be >= 1")
+    if capacity_pps <= 0:
+        raise ValueError("capacity_pps must be positive")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    del damping  # kept for signature stability; bisection needs none
+    epoch = rtt + queue_pkts / capacity_pps
+    sent = packets_per_state(wmax)
+
+    def excess(p: float) -> float:
+        pi = stationary_distribution(transition_matrix(p, wmax))
+        offered = n_flows * float(pi @ sent) / epoch
+        overload = 0.0 if offered <= capacity_pps else 1.0 - capacity_pps / offered
+        return overload - p
+
+    converged = True
+    if excess(0.0) <= 0.0:
+        p = 0.0  # undersubscribed: the bottleneck absorbs the offered load
+    elif excess(P_CHAIN_MAX) >= 0.0:
+        p = P_CHAIN_MAX  # beyond the validity envelope: pinned
+        converged = False
+    else:
+        lo, hi = 0.0, P_CHAIN_MAX
+        for _ in range(max_iterations):
+            mid = 0.5 * (lo + hi)
+            if excess(mid) > 0.0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= tolerance:
+                break
+        else:
+            converged = False
+        p = 0.5 * (lo + hi)
+    pi = stationary_distribution(transition_matrix(p, wmax))
+    packets = float(pi @ sent)
+    offered = n_flows * packets / epoch
+    return PopulationEquilibrium(
+        p=p,
+        pi=pi,
+        packets_per_epoch=packets,
+        offered_pps=offered,
+        delivered_pps=min(offered, capacity_pps),
+        epoch_seconds=epoch,
+        converged=converged,
+    )
+
+
+def slice_moments(
+    T: np.ndarray,
+    rewards: np.ndarray,
+    epochs: int,
+    pi: np.ndarray = None,
+) -> "tuple[float, float]":
+    """``(mean, variance)`` of one flow's cumulative reward over
+    ``epochs`` chain steps, started from (and weighted by) ``pi``.
+
+    The variance of a Markov-additive reward over a finite horizon is
+    computed exactly from the autocovariances:
+
+        ``Var = m*gamma_0 + 2 * sum_{k=1}^{m-1} (m - k) * gamma_k``
+
+    with ``gamma_k = sum_s pi_s f_s (T^k f)_s - mu^2``.  The fluid
+    backend combines these per-class moments into population Jain
+    indices (``E[X]^2 / E[X^2]`` across classes).
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    f = np.asarray(rewards, dtype=float)
+    if pi is None:
+        pi = stationary_distribution(T)
+    mu = float(pi @ f)
+    gamma0 = float(pi @ (f * f)) - mu * mu
+    variance = epochs * gamma0
+    pif = pi * f
+    g = f.copy()
+    for k in range(1, epochs):
+        g = T @ g
+        gamma_k = float(pif @ g) - mu * mu
+        variance += 2.0 * (epochs - k) * gamma_k
+    return epochs * mu, max(0.0, variance)
+
+
+def slice_jain(
+    T: np.ndarray,
+    rewards: np.ndarray,
+    epochs: int,
+    pi: np.ndarray = None,
+) -> float:
+    """Jain index of per-flow cumulative reward over ``epochs`` steps,
+    in the infinite-population limit.
+
+    For ``N`` iid stationary flows the Jain index of slice totals
+    ``X_1..X_N`` converges to ``E[X]^2 / E[X^2]`` — equivalently
+    ``1 / (1 + CV^2)`` — with the moments from :func:`slice_moments`.
+    This is the fluid analogue of the packet backend's sliced-goodput
+    Jain: the same 20 s window, the same "silent flows count as zero"
+    semantics (the ``b0``/``b*`` states carry reward 0).
+    """
+    mean, variance = slice_moments(T, rewards, epochs, pi)
+    if mean <= 0.0:
+        return 1.0  # nothing delivered: nothing is being shared unfairly
+    return mean * mean / (mean * mean + variance)

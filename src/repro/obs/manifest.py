@@ -22,7 +22,8 @@ from typing import Any, Dict, Optional
 #: Bump when manifest fields change incompatibly.
 #: v2: added ``scenario`` (full canonical ScenarioSpec document).
 #: v3: added ``peak_rss_bytes`` (process peak RSS at manifest build).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: added ``backend`` (which engine ran the scenario; packet/fluid).
+MANIFEST_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -38,6 +39,10 @@ class RunManifest:
     #: Full canonical scenario document (``ScenarioSpec.canonical()``)
     #: when the run was built declaratively; empty for ad-hoc runs.
     scenario: Dict[str, Any] = field(default_factory=dict)
+    #: Which engine produced the numbers: at least {"kind": "packet"}
+    #: or {"kind": "fluid", ...params}.  Pre-v4 manifests load with the
+    #: packet default (the only engine that existed).
+    backend: Dict[str, Any] = field(default_factory=lambda: {"kind": "packet"})
     #: Sim-clock duration of the run, seconds.
     duration: float = 0.0
     #: Wall-clock seconds the run took (not deterministic!).
@@ -76,6 +81,7 @@ def build_manifest(
     topology: Optional[Dict[str, Any]] = None,
     qdisc: Optional[Dict[str, Any]] = None,
     scenario: Optional[Dict[str, Any]] = None,
+    backend: Optional[Dict[str, Any]] = None,
     duration: float = 0.0,
     wall_time_s: float = 0.0,
     peak_rss_bytes: Optional[int] = None,
@@ -98,6 +104,7 @@ def build_manifest(
         topology=dict(topology or {}),
         qdisc=dict(qdisc or {}),
         scenario=dict(scenario or {}),
+        backend=dict(backend or {"kind": "packet"}),
         duration=duration,
         wall_time_s=wall_time_s,
         peak_rss_bytes=_peak_rss() if peak_rss_bytes is None else peak_rss_bytes,

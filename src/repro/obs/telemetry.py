@@ -120,12 +120,15 @@ class Telemetry:
         topology: Optional[Dict[str, Any]] = None,
         qdisc: Optional[Dict[str, Any]] = None,
         scenario: Optional[Dict[str, Any]] = None,
+        backend: Optional[Dict[str, Any]] = None,
         duration: float = 0.0,
     ) -> RunManifest:
         """Import final counters, build the manifest, write the bundle.
 
         Safe to call without an ``out_dir`` (everything stays
-        in-memory); returns the manifest either way.
+        in-memory); returns the manifest either way.  ``backend``
+        defaults from the scenario document (canonical documents carry
+        a ``backend`` key only when it is not the packet default).
         """
         if self.sampler is not None:
             self.sampler.stop()
@@ -136,12 +139,15 @@ class Telemetry:
             self.registry.set_counter("sim.events_processed", sim.processed)
             duration = duration or sim.now
             seed = seed if seed else sim.rng.seed
+        if backend is None and scenario:
+            backend = scenario.get("backend")
         self.manifest = build_manifest(
             run_id,
             seed,
             topology=topology,
             qdisc=qdisc,
             scenario=scenario,
+            backend=backend,
             duration=duration,
             wall_time_s=_time.perf_counter() - self._wall_start,
             event_count=sim.processed if sim is not None else 0,

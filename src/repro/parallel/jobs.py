@@ -87,7 +87,7 @@ class Job:
 
 
 def _job_manifest(job_id: str, spec: PointSpec) -> Dict[str, Any]:
-    """The v3 RunManifest payload that is this job's provenance record."""
+    """The RunManifest payload that is this job's provenance record."""
     from repro.obs.manifest import build_manifest
 
     seed = spec.kwargs.get("seed", 0)
@@ -95,6 +95,7 @@ def _job_manifest(job_id: str, spec: PointSpec) -> Dict[str, Any]:
         run_id=job_id,
         seed=seed if isinstance(seed, int) else 0,
         scenario=spec.scenario,
+        backend=(spec.scenario or {}).get("backend"),
     )
     return dataclasses.asdict(manifest)
 

@@ -1,6 +1,6 @@
-"""The shipped benchmark suite: 12 deterministic workloads.
+"""The shipped benchmark suite: 14 deterministic workloads.
 
-Four groups, chosen to cover every layer the probe instruments:
+Five groups, chosen to cover every layer the probe instruments:
 
 - ``sim``: the event store alone — schedule/pop churn and cancellation
   churn, the two inner loops every simulated second rides on.
@@ -11,6 +11,9 @@ Four groups, chosen to cover every layer the probe instruments:
   :class:`ScenarioSpec` through the declarative harness, the shapes
   the paper's figures actually exercise (bulk vs TAQ, Fig-10-style
   short-flow probes, web sessions).
+- ``fluid``: the mean-field backend at N = 10^6 flows — per-step cost
+  is independent of the population, so these pin the bounded-memory,
+  bounded-time claim the fluid backend exists for.
 - ``parallel``: a cache-less sweep through
   :class:`repro.parallel.ParallelRunner` with two workers, covering
   spec pickling and pool dispatch.
@@ -27,6 +30,7 @@ from typing import List
 
 from repro.build.harness import build_queue, build_simulation
 from repro.build.spec import (
+    BackendSpec,
     MetricsSpec,
     QueueSpec,
     ScenarioSpec,
@@ -242,6 +246,54 @@ def scenario_web_browsing(scale: float) -> BenchCounts:
         seed=9,
     )
     return _run_scenario(spec)
+
+
+# ----------------------------------------------------------------------
+# fluid: the mean-field backend at population scale
+# ----------------------------------------------------------------------
+def _million_flow_spec(name: str, queue_kind: str, duration: float) -> ScenarioSpec:
+    """A million bulk flows on a 400 Mbps bottleneck of 200-byte
+    packets: fair share ~0.25 packets per RTT — the paper's sub-packet
+    regime at a population no event simulator can hold.  Per-step cost
+    is O(classes * wmax^2), independent of the flow count; these runs
+    exist to prove (and pin in the baseline) that the fluid backend is
+    bounded-memory and N-independent."""
+    return ScenarioSpec(
+        topology=TopologySpec(capacity_bps=400_000_000.0, rtt=0.2, pkt_size=200),
+        name=name,
+        seed=21,
+        duration=duration,
+        queue=QueueSpec(kind=queue_kind),
+        workloads=[WorkloadSpec("bulk", {"n_flows": 1_000_000})],
+        metrics=MetricsSpec(slice_seconds=10.0),
+        backend=BackendSpec(kind="fluid"),
+    )
+
+
+def _run_fluid(spec: ScenarioSpec) -> BenchCounts:
+    built = build_simulation(spec)
+    result = built.run()
+    return BenchCounts(
+        events=result.steps,
+        packets=int(result.delivered_pkts),
+    )
+
+
+@benchmark("fluid_red_million", group="fluid")
+def fluid_red_million(scale: float) -> BenchCounts:
+    """10^6 bulk flows through the RED fluid model (EWMA + ramp)."""
+    return _run_fluid(
+        _million_flow_spec("bench-fluid-red", "red", duration=_scaled(120, scale))
+    )
+
+
+@benchmark("fluid_taq_million", group="fluid")
+def fluid_taq_million(scale: float) -> BenchCounts:
+    """10^6 bulk flows through the TAQ fluid approximation (fair-window
+    excess redistribution)."""
+    return _run_fluid(
+        _million_flow_spec("bench-fluid-taq", "taq", duration=_scaled(120, scale))
+    )
 
 
 # ----------------------------------------------------------------------

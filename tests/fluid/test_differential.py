@@ -1,0 +1,111 @@
+"""The differential campaign: fluid vs packet vs analytic model.
+
+The fluid backend earns its place by agreeing with the packet
+simulator where both can run — N in {4, 16, 64} bulk flows straddling
+the paper's small-packet boundary, under DropTail, RED and the TAQ
+approximation — and by reproducing the partial-model stationary
+distribution when the loss probability is pinned (the analytic
+cross-check that needs no packet run at all).
+
+The N = 16 row of the grid runs in the default suite; the full grid is
+marked ``slow`` and runs in the CI ``fluid`` job (and locally with
+``--run-slow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.build import ScenarioSpec
+from repro.check.differential import (
+    BackendTolerances,
+    compare_backends,
+    respec_backend,
+)
+from repro.fluid import FluidClass, FluidModel, pinned
+from repro.model import (
+    packets_per_state,
+    state_layout,
+    stationary_distribution,
+    transition_matrix,
+)
+
+DISCIPLINES = ("droptail", "red", "taq")
+
+
+def grid_document(queue_kind: str, n_flows: int) -> dict:
+    """The calibration shape: paper's small-packet bottleneck (600 kbps,
+    200-byte packets, 200 ms RTT) under ``n_flows`` bulk senders."""
+    return {
+        "name": f"diff-{queue_kind}-{n_flows}",
+        "seed": 1,
+        "duration": 120,
+        "topology": {
+            "type": "dumbbell",
+            "capacity_bps": 600_000,
+            "rtt": 0.2,
+            "pkt_size": 200,
+        },
+        "queue": {"kind": queue_kind, "buffer_rtts": 1.0},
+        "workloads": [{"type": "bulk", "n_flows": n_flows}],
+    }
+
+
+def assert_backends_agree(queue_kind: str, n_flows: int) -> None:
+    spec = ScenarioSpec.from_document(grid_document(queue_kind, n_flows))
+    report = compare_backends(spec)
+    assert report.ok, "; ".join(
+        f"{r.name}: {r.detail}" for r in report.relations if not r.holds
+    )
+
+
+@pytest.mark.parametrize("queue_kind", DISCIPLINES)
+def test_backends_agree_n16(queue_kind):
+    assert_backends_agree(queue_kind, 16)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("queue_kind", DISCIPLINES)
+@pytest.mark.parametrize("n_flows", (4, 64))
+def test_backends_agree_full_grid(queue_kind, n_flows):
+    assert_backends_agree(queue_kind, n_flows)
+
+
+def test_respec_backend_round_trip():
+    spec = ScenarioSpec.from_document(grid_document("red", 8))
+    fluid = respec_backend(spec, "fluid", rtt_buckets=2)
+    assert fluid.backend.kind == "fluid"
+    assert fluid.backend.params == {"rtt_buckets": 2}
+    back = respec_backend(fluid, "packet")
+    assert back.backend.kind == "packet"
+    assert "backend" not in back.to_document()
+
+
+def test_tolerance_band_is_max_of_abs_and_rel():
+    tol = BackendTolerances(loss_abs=0.01, loss_rel=0.5)
+    assert tol.close("loss", 0.004, 0.012)  # inside abs band
+    assert tol.close("loss", 0.10, 0.14)  # inside rel band
+    assert not tol.close("loss", 0.10, 0.22)  # outside both
+
+
+def test_fluid_matches_model_stationary_distribution():
+    """With the loss pinned, the integrator must converge to the
+    partial-model chain's stationary distribution — the uniformized
+    update shares the chain's fixed point by construction."""
+    p = 0.08
+    wmax = 8
+    model = FluidModel(
+        [FluidClass(name="c", n_flows=100.0, rtt=0.2)],
+        capacity_pps=1e9,  # empty queue: R stays at the class RTT
+        buffer_pkts=1e9,
+        discipline=pinned(p),
+        wmax=wmax,
+        dt=0.01,
+    )
+    model.run(400.0)
+    histogram = model.h[0] / model.h[0].sum()
+    pi = stationary_distribution(transition_matrix(p, wmax=wmax))
+    assert np.allclose(histogram, pi, atol=1e-3)
+    # And the mean window agrees through the same reward vector.
+    sent = np.asarray(packets_per_state(wmax), dtype=float)
+    assert histogram @ sent == pytest.approx(pi @ sent, rel=1e-3)
+    assert len(pi) == len(state_layout(wmax))

@@ -1,0 +1,130 @@
+"""Unit tests for the population (mean-field) layer of ``repro.model``.
+
+These are the analytic primitives the fluid backend leans on: the
+partial-model transition matrix (scalar or per-state loss), its
+stationary distribution, the N-flow fixed point, and the
+Markov-additive slice moments behind the Jain estimate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    P_CHAIN_MAX,
+    packets_per_state,
+    population_fixed_point,
+    slice_jain,
+    slice_moments,
+    state_layout,
+    stationary_distribution,
+    transition_matrix,
+)
+
+
+def test_state_layout_and_packets_per_state():
+    states = state_layout(6)
+    assert states[:3] == ["S1", "b0", "b*"]
+    assert states[-1] == "S6"
+    assert len(states) == 6 + 3 - 1
+    sent = packets_per_state(6)
+    assert list(sent[:3]) == [1, 0, 0]
+    assert list(sent[3:]) == [2, 3, 4, 5, 6]
+
+
+@pytest.mark.parametrize("p", [0.0, 0.01, 0.1, 0.49])
+def test_transition_matrix_is_row_stochastic(p):
+    T = transition_matrix(p, wmax=8)
+    np.testing.assert_allclose(T.sum(axis=1), 1.0, atol=1e-12)
+    assert T.min() >= 0.0
+
+
+def test_transition_matrix_vector_loss_matches_scalar():
+    n = len(state_layout(6))
+    scalar = transition_matrix(0.07, wmax=6)
+    vector = transition_matrix(np.full(n, 0.07), wmax=6)
+    np.testing.assert_array_equal(scalar, vector)
+
+
+def test_transition_matrix_rejects_out_of_range_loss():
+    with pytest.raises(ValueError):
+        transition_matrix(0.6)
+    with pytest.raises(ValueError):
+        transition_matrix(-0.1)
+
+
+def test_stationary_distribution_is_a_fixed_point():
+    T = transition_matrix(0.05, wmax=6)
+    pi = stationary_distribution(T)
+    np.testing.assert_allclose(pi @ T, pi, atol=1e-10)
+    assert pi.sum() == pytest.approx(1.0)
+    assert pi.min() >= 0.0
+
+
+def test_fixed_point_undersubscribed_is_lossless():
+    eq = population_fixed_point(2, capacity_pps=10_000.0, rtt=0.1)
+    assert eq.p == 0.0
+    assert eq.converged
+    assert eq.delivered_pps == eq.offered_pps
+
+
+def test_fixed_point_loss_monotone_in_population():
+    losses = [
+        population_fixed_point(n, capacity_pps=375.0, rtt=0.2).p
+        for n in (8, 32, 128)
+    ]
+    assert losses[0] < losses[1] < losses[2]
+
+
+def test_fixed_point_balances_offer_and_overload():
+    eq = population_fixed_point(64, capacity_pps=375.0, rtt=0.2)
+    assert eq.converged
+    overload = max(0.0, 1.0 - 375.0 / eq.offered_pps)
+    assert eq.p == pytest.approx(overload, abs=1e-9)
+
+
+def test_fixed_point_pins_beyond_validity_envelope():
+    eq = population_fixed_point(100_000, capacity_pps=100.0, rtt=0.2)
+    assert eq.p == P_CHAIN_MAX
+    assert not eq.converged
+
+
+def test_census_masses_sum_to_one():
+    eq = population_fixed_point(32, capacity_pps=375.0, rtt=0.2)
+    assert sum(eq.census().values()) == pytest.approx(1.0)
+
+
+def test_slice_moments_deterministic_chain_has_zero_variance():
+    # A one-state absorbing chain sends a constant reward per epoch.
+    T = np.array([[1.0]])
+    mean, var = slice_moments(T, np.array([3.0]), epochs=10, pi=np.array([1.0]))
+    assert mean == pytest.approx(30.0)
+    assert var == pytest.approx(0.0, abs=1e-9)
+
+
+def test_slice_moments_variance_nonnegative_and_scales():
+    T = transition_matrix(0.08, wmax=6)
+    rewards = packets_per_state(6).astype(float)
+    mean5, var5 = slice_moments(T, rewards, epochs=5)
+    mean50, var50 = slice_moments(T, rewards, epochs=50)
+    assert var5 >= 0.0 and var50 >= 0.0
+    assert mean50 == pytest.approx(10 * mean5)
+    # Positive-correlation chains grow variance at least linearly.
+    assert var50 > var5
+
+
+def test_slice_jain_bounds_and_degenerate_case():
+    T = transition_matrix(0.08, wmax=6)
+    rewards = packets_per_state(6).astype(float)
+    jain = slice_jain(T, rewards, epochs=20)
+    assert 0.0 < jain <= 1.0
+    # Zero-reward slices define Jain as 1.0 (no spread to measure).
+    assert slice_jain(T, np.zeros_like(rewards), epochs=20) == 1.0
+
+
+def test_slice_jain_approaches_one_for_long_slices():
+    T = transition_matrix(0.05, wmax=6)
+    rewards = packets_per_state(6).astype(float)
+    short = slice_jain(T, rewards, epochs=3)
+    long = slice_jain(T, rewards, epochs=300)
+    assert long > short
+    assert long > 0.95

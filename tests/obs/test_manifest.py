@@ -1,4 +1,5 @@
-"""RunManifest v3: timing fields, schema compatibility, diff rules."""
+"""RunManifest v4: timing + backend fields, schema compatibility,
+diff rules."""
 
 from __future__ import annotations
 
@@ -11,13 +12,20 @@ from repro.obs import diff_manifests, load_manifest
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 
 
-def test_schema_is_v3():
-    assert MANIFEST_SCHEMA_VERSION == 3
+def test_schema_is_v4():
+    assert MANIFEST_SCHEMA_VERSION == 4
+
+
+def test_backend_defaults_to_packet():
+    manifest = build_manifest("run-b", 7)
+    assert manifest.backend == {"kind": "packet"}
+    fluid = build_manifest("run-f", 7, backend={"kind": "fluid"})
+    assert fluid.backend == {"kind": "fluid"}
 
 
 def test_build_manifest_autofills_peak_rss_and_source():
     manifest = build_manifest("run-a", 7, wall_time_s=1.5)
-    assert manifest.schema_version == 3
+    assert manifest.schema_version == 4
     assert manifest.wall_time_s == 1.5
     assert manifest.peak_rss_bytes > 0  # read from the live process
     assert len(manifest.source_hash) == 64
@@ -62,6 +70,8 @@ def test_load_manifest_accepts_v2_documents(tmp_path):
     assert manifest.peak_rss_bytes == 0
     assert manifest.wall_time_s == 0.0
     assert manifest.event_count == 1000
+    # Pre-v4 bundles carry no backend field: packet by definition.
+    assert manifest.backend == {"kind": "packet"}
 
 
 def test_load_manifest_rejects_newer_schema(tmp_path):
