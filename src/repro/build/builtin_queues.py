@@ -22,12 +22,30 @@ def build_droptail(ctx: QueueContext):
 
 
 @QUEUES.register("red")
-def build_red(ctx: QueueContext):
-    """Random Early Detection with the paper's byte-mode defaults."""
+def build_red(
+    ctx: QueueContext,
+    min_th=None,
+    max_th=None,
+    max_p: float = 0.1,
+    weight: float = 0.002,
+):
+    """Random Early Detection with the paper's byte-mode defaults.
+
+    The RED knobs are declarative so a JSON scenario (and the fluid
+    backend's drop law, which shares this parameter set) can explore
+    the stability region — see :mod:`repro.fluid.stability`.  Defaults
+    match :class:`repro.queues.REDQueue`'s rule of thumb.
+    """
     from repro.queues import REDQueue
 
     return REDQueue(
-        ctx.buffer_pkts, ctx.sim.rng.stream("red"), mean_pkt_size=ctx.pkt_size
+        ctx.buffer_pkts,
+        ctx.sim.rng.stream("red"),
+        min_th=min_th,
+        max_th=max_th,
+        max_p=max_p,
+        weight=weight,
+        mean_pkt_size=ctx.pkt_size,
     )
 
 

@@ -47,6 +47,13 @@ FLUID_QUEUE_KINDS = ("droptail", "red", "taq", "taq+ac")
 #: its conservation monitors and the shrinker on fluid repros.
 FLUID_CASE_RATE = 0.25
 
+#: One in this many fluid cases also runs an armed twin (telemetry
+#: probes on) and asserts bit-identity with the unarmed run — the
+#: fuzzer's standing check that observation never perturbs the fluid
+#: integrator.  Keyed off the document seed so the choice is
+#: deterministic per case, independent of campaign order.
+PROBE_PARITY_MODULUS = 4
+
 
 def sample_document(rng: random.Random, case_seed: int) -> Dict[str, Any]:
     """One random-but-valid scenario document.
@@ -134,12 +141,36 @@ def run_case(document: Dict[str, Any]) -> List[Violation]:
     built = build_simulation(spec)
     if getattr(built, "backend", "packet") == "fluid":
         built.run()
-        return list(built.violations)
+        violations = list(built.violations)
+        if document.get("seed", 0) % PROBE_PARITY_MODULUS == 0:
+            violations.extend(_probe_parity(spec, built))
+        return violations
     built.sim.max_events = MAX_EVENTS
     suite = attach_monitors(built, mode="collect")
     built.run()
     suite.finalize()
     return suite.violations
+
+
+def _probe_parity(spec: ScenarioSpec, unarmed) -> List[Violation]:
+    """Re-run *spec* with fluid telemetry probes armed and compare
+    bit-for-bit against the finished *unarmed* run."""
+    from repro.fluid.probe import FluidProbe, fluid_results_differ
+    from repro.obs.metrics import MetricsRegistry
+
+    armed = build_simulation(spec)
+    armed.model.probe = FluidProbe(MetricsRegistry())
+    armed.run()
+    differing = fluid_results_differ(unarmed.result, armed.result)
+    if differing:
+        return [
+            Violation(
+                "fluid-probe-parity",
+                "armed fluid run diverged from unarmed on: "
+                + ", ".join(differing),
+            )
+        ]
+    return []
 
 
 # ----------------------------------------------------------------------

@@ -136,6 +136,25 @@ def _run_scenarios(args) -> int:
         if recorder.stream is not None:
             print(recorder.stream.render())
         return 0
+    if getattr(args, "telemetry_dir", None) is not None:
+        # Instrumented runs are sequential: one bundle per document at
+        # DIR/<scenario-name>, ready for `taq-obs diff` / `taq-obs export`.
+        from repro.experiments.scenario import run_scenario_with_telemetry
+
+        if args.jobs not in (None, 1):
+            print("(note: --telemetry-dir runs scenarios sequentially; "
+                  "--jobs ignored)", file=sys.stderr)
+        outcomes = []
+        for spec in specs:
+            bundle_dir = os.path.join(args.telemetry_dir, spec.name)
+            outcomes.append(run_scenario_with_telemetry(
+                spec, bundle_dir,
+                sample_interval=getattr(args, "sample_interval", 1.0),
+            ))
+        for outcome in outcomes:
+            print(outcome)
+        print(f"(telemetry bundles under {args.telemetry_dir}/)")
+        return 0
     jobs = args.jobs if args.jobs is not None else 1
     if jobs != 1 and len(specs) > 1:
         from repro.parallel import ParallelRunner, PointSpec
@@ -273,7 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--telemetry-dir", metavar="DIR", default=None,
         help="write a repro.obs telemetry bundle (manifest, metrics, "
-             "event trace) per sweep point under DIR; off by default "
+             "event trace) per sweep point — or per scenario file, at "
+             "DIR/<name> — under DIR; off by default "
              "(zero overhead when disabled)",
     )
     parser.add_argument(

@@ -113,7 +113,11 @@ def run_scenario(document: Union[Dict[str, Any], ScenarioSpec]) -> ScenarioOutco
         built.run()
         return built.scenario_outcome()
     built.run()
+    return _packet_outcome(spec, built)
 
+
+def _packet_outcome(spec: ScenarioSpec, built) -> ScenarioOutcome:
+    """Reduce a finished packet-backend run to the standard metric set."""
     all_flows = built.all_flows()
     flow_ids = [f.flow_id for f in all_flows]
     sized = [f for f in all_flows if f.size_segments is not None]
@@ -146,3 +150,70 @@ def run_scenario(document: Union[Dict[str, Any], ScenarioSpec]) -> ScenarioOutco
 def run_scenario_file(path: str) -> ScenarioOutcome:
     """Load a JSON scenario document from *path* and run it."""
     return run_scenario(ScenarioSpec.from_file(path))
+
+
+def run_scenario_with_telemetry(
+    document: Union[Dict[str, Any], ScenarioSpec],
+    out_dir: str,
+    sample_interval: float = 1.0,
+) -> ScenarioOutcome:
+    """Run a scenario with a full telemetry bundle landing in *out_dir*.
+
+    Works on both engines: a packet run gets the queue/link/flow
+    instrumentation sweep points use, a fluid run gets
+    :func:`repro.fluid.probe.instrument_fluid` (per-step queue
+    occupancy, drop rates, validity clips, the stability verdict).  The
+    final :class:`ScenarioOutcome` scalars are also recorded as
+    one-sample ``outcome.<metric>`` series, so two bundles diff on the
+    headline numbers as well as the raw counters — this is what
+    ``taq-obs diff`` consumes and what CI's behavioral baseline is
+    built from.
+    """
+    from repro.build.harness import manifest_payloads
+    from repro.obs import (
+        Telemetry,
+        instrument_flows,
+        instrument_link,
+        instrument_queue,
+    )
+
+    spec = (
+        document
+        if isinstance(document, ScenarioSpec)
+        else ScenarioSpec.from_document(document)
+    )
+    built = build_simulation(spec)
+    telemetry = Telemetry(out_dir, sample_interval=sample_interval)
+    if getattr(built, "backend", "packet") == "fluid":
+        from repro.fluid.probe import instrument_fluid
+
+        instrument_fluid(telemetry, built)
+        built.run()
+        outcome = built.scenario_outcome()
+        sim = None
+    else:
+        telemetry.attach(built.sim)
+        instrument_queue(telemetry, built.queue)
+        link = getattr(built.topology, "forward", None)
+        if link is not None:
+            instrument_link(telemetry, link, name="bottleneck")
+        instrument_flows(telemetry, built.all_flows())
+        built.run()
+        outcome = _packet_outcome(spec, built)
+        sim = built.sim
+    for name in ("short_term_jain", "long_term_jain", "utilization",
+                 "loss_rate", "timeouts"):
+        series = telemetry.registry.time_series(f"outcome.{name}")
+        series.append(outcome.duration, float(getattr(outcome, name)))
+    for key, value in outcome.extras.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            series = telemetry.registry.time_series(f"outcome.{key}")
+            series.append(outcome.duration, float(value))
+    telemetry.finalize(
+        sim,
+        run_id=spec.name,
+        seed=spec.seed,
+        duration=spec.duration,
+        **manifest_payloads(spec),
+    )
+    return outcome

@@ -23,18 +23,36 @@ from repro.fluid.core import (
     MASS_RTOL,
 )
 from repro.fluid.disciplines import FLUID_DISCIPLINES, droptail, pinned, red, taq
+from repro.fluid.probe import FluidProbe, fluid_results_differ, instrument_fluid
+from repro.fluid.stability import (
+    OscillationReport,
+    ReynierCondition,
+    StabilityReport,
+    detect_limit_cycle,
+    render_stability,
+    reynier_condition,
+)
 
 __all__ = [
     "BuiltFluid",
     "build_fluid",
     "FluidClass",
     "FluidModel",
+    "FluidProbe",
     "FluidResult",
     "LinkState",
     "MASS_RTOL",
     "FLUID_DISCIPLINES",
+    "OscillationReport",
+    "ReynierCondition",
+    "StabilityReport",
+    "detect_limit_cycle",
     "droptail",
+    "fluid_results_differ",
+    "instrument_fluid",
     "pinned",
     "red",
+    "render_stability",
+    "reynier_condition",
     "taq",
 ]

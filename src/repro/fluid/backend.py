@@ -115,22 +115,28 @@ def _admission_scale(
     wmax: int,
     p_thresh: float,
     safety_margin: float,
-) -> float:
-    """Largest admitted fraction keeping the fixed-point loss in budget.
+) -> Tuple[float, int]:
+    """Largest admitted fraction keeping the fixed-point loss in budget,
+    plus how many fixed-point evaluations the search spent.
 
     The §4.3 controller admits flows while the measured loss stays
     under ``p_thresh`` (scaled by ``safety_margin``); its mean-field
     analogue is a bisection over the admitted fraction ``alpha`` of the
     offered population, using :func:`population_fixed_point` with the
-    flow-weighted mean RTT as the common epoch.
+    flow-weighted mean RTT as the common epoch.  The evaluation count
+    flows into telemetry (``fluid.admission_iterations``) so the cost
+    of the admission search is observable per run.
     """
     total = sum(c.n_flows for c in classes)
     if total <= 0:
-        return 1.0
+        return 1.0, 0
     rtt = sum(c.n_flows * c.rtt for c in classes) / total
     budget = p_thresh * safety_margin
+    evals = 0
 
     def loss_at(alpha: float) -> float:
+        nonlocal evals
+        evals += 1
         admitted = max(1.0, alpha * total)
         eq = population_fixed_point(
             int(round(admitted)), capacity_pps, rtt, wmax=wmax
@@ -138,7 +144,7 @@ def _admission_scale(
         return eq.p
 
     if loss_at(1.0) <= budget:
-        return 1.0
+        return 1.0, evals
     lo, hi = 0.0, 1.0  # loss_at is monotone increasing in alpha
     for _ in range(60):
         mid = 0.5 * (lo + hi)
@@ -146,7 +152,7 @@ def _admission_scale(
             lo = mid
         else:
             hi = mid
-    return lo
+    return lo, evals
 
 
 @dataclass
@@ -160,6 +166,11 @@ class BuiltFluid:
     #: abstraction (recorded so results are honest about what ran).
     ignored_params: Dict[str, Any] = field(default_factory=dict)
     result: Optional[FluidResult] = None
+    #: Fixed-point evaluations the taq+ac admission bisection spent
+    #: (0 for disciplines without admission control).
+    admission_iterations: int = 0
+    #: Admitted fraction the search settled on (1.0 = everyone in).
+    admission_alpha: float = 1.0
 
     @property
     def backend(self) -> str:
@@ -260,6 +271,8 @@ def build_fluid(
         else:
             ignored[f"queue.{key}"] = value
 
+    admission_alpha = 1.0
+    admission_iterations = 0
     if kind == "taq+ac":
         p_thresh = float(queue_params.pop("p_thresh", 0.1))
         safety_margin = float(queue_params.pop("safety_margin", 0.9))
@@ -267,9 +280,10 @@ def build_fluid(
             raise SpecError(
                 f"'p_thresh' must be in (0, {P_CHAIN_MAX}), got {p_thresh!r}"
             )
-        alpha = _admission_scale(
+        alpha, admission_iterations = _admission_scale(
             classes, capacity_pps, wmax, p_thresh, safety_margin
         )
+        admission_alpha = alpha
         classes = [
             FluidClass(
                 name=c.name,
@@ -291,4 +305,10 @@ def build_fluid(
         slice_seconds=spec.metrics.slice_seconds,
         fault_leak=fault_leak,
     )
-    return BuiltFluid(spec=spec, model=model, ignored_params=ignored)
+    return BuiltFluid(
+        spec=spec,
+        model=model,
+        ignored_params=ignored,
+        admission_iterations=admission_iterations,
+        admission_alpha=admission_alpha,
+    )

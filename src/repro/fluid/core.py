@@ -248,6 +248,12 @@ class FluidModel:
         self.valid = True
         self.violations: List[Violation] = []
         self._suppressed_violations = 0
+        #: Optional step observer (see :class:`repro.fluid.probe.FluidProbe`).
+        #: Defaults to ``None`` — the zero-overhead-when-off convention the
+        #: packet components use: an unarmed run executes byte-for-byte the
+        #: pre-instrumentation code, and an armed probe only *reads* state,
+        #: so armed and unarmed integrations are bit-identical.
+        self.probe = None
 
         # Accounting integrals.
         self._offered_pkts = 0.0
@@ -338,7 +344,8 @@ class FluidModel:
             self.h.shape,
         )
         p_chain = np.minimum(p_queue, P_CHAIN_MAX)
-        if np.any(p_queue > P_CHAIN_MAX):
+        clipped = bool(np.any(p_queue > P_CHAIN_MAX))
+        if clipped:
             self.valid = False
 
         accepted = (1.0 - p_queue) * rate
@@ -379,6 +386,8 @@ class FluidModel:
         self.time += dt
         self.steps += 1
         self._check_invariants()
+        if self.probe is not None:
+            self.probe.on_step(self, p_queue, rate, clipped)
 
     def run(self, duration: float) -> "FluidResult":
         """Integrate for *duration* seconds and summarize.

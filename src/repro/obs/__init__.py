@@ -29,6 +29,24 @@ from repro.obs.metrics import (
     load_metrics_jsonl,
 )
 from repro.obs.causal import critical_path, render_critical_path, render_timeline
+from repro.obs.diff import (
+    BehaviorDiff,
+    ToleranceRule,
+    behavior_summary,
+    diff_behavior,
+    render_behavior_markdown,
+    render_behavior_text,
+)
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    Family,
+    bundle_openmetrics,
+    families_from_metrics_doc,
+    families_from_registry,
+    parse_openmetrics,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.report import (
     render_run_report,
     render_telemetry_report,
@@ -63,8 +81,11 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BehaviorDiff",
     "Counter",
     "EventTrace",
+    "Family",
+    "OPENMETRICS_CONTENT_TYPE",
     "Gauge",
     "Histogram",
     "LogHistogram",
@@ -79,13 +100,19 @@ __all__ = [
     "StreamingFlowStats",
     "Telemetry",
     "TimeSeries",
+    "ToleranceRule",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "active_recorder",
     "arm_spans",
+    "behavior_summary",
     "build_manifest",
+    "bundle_openmetrics",
     "critical_path",
+    "diff_behavior",
     "diff_manifests",
+    "families_from_metrics_doc",
+    "families_from_registry",
     "instrument_flow",
     "instrument_flows",
     "instrument_link",
@@ -94,13 +121,18 @@ __all__ = [
     "load_manifest",
     "load_metrics_jsonl",
     "load_spans",
+    "parse_openmetrics",
     "recording",
+    "render_behavior_markdown",
+    "render_behavior_text",
     "render_critical_path",
     "render_run_report",
     "render_telemetry_report",
     "render_timeline",
+    "render_openmetrics",
     "run_report_payload",
     "save_events",
     "save_spans",
     "summarize_events",
+    "validate_openmetrics",
 ]

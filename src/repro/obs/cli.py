@@ -13,6 +13,20 @@ Subcommands
 ``tail BUS_DIR [--once] [--interval S] [--for S]``
     Follow a live sweep's progress bus (armed with ``TAQ_OBS_BUS`` or
     ``taq-experiments ... --bus-dir``) and render per-point state.
+``export BUNDLE [--out FILE]``
+    Render a telemetry bundle's metrics in OpenMetrics text format —
+    the offline twin of the live ``/metrics`` endpoints.
+``stability TARGET``
+    Limit-cycle / Reynier-condition verdict for a fluid run.  TARGET
+    is a telemetry bundle directory (detect on the recorded
+    ``fluid.queue_pkts`` series) or a scenario ``.json`` (run it on
+    the fluid backend with probes armed, then analyze).
+``snapshot SOURCE --out FILE``
+    Reduce a bundle (or tree of bundles) to a behavior summary JSON —
+    the committed-baseline format ``diff`` consumes.
+``diff A B [--markdown] [--tolerance PAT=REL[:ABS]] [--out FILE]``
+    Behavioral diff of two runs (bundles, trees, or summary files).
+    Exit 1 when any metric is out of tolerance.
 
 ``TRACE`` is a ``spans.jsonl`` file or a telemetry bundle directory
 containing one.
@@ -21,6 +35,7 @@ containing one.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -102,6 +117,70 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         print()
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import bundle_openmetrics
+
+    text = bundle_openmetrics(args.bundle)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.fluid.stability import (
+        analyze_bundle,
+        analyze_spec,
+        render_stability,
+    )
+
+    target = Path(args.target)
+    if target.is_dir():
+        report = analyze_bundle(str(target))
+    elif target.is_file():
+        with open(target, encoding="utf-8") as handle:
+            report = analyze_spec(json.load(handle))
+    else:
+        raise SystemExit(f"taq-obs: no bundle or scenario at {target}")
+    print(render_stability(report))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.obs.diff import behavior_summary, write_summary
+
+    summary = behavior_summary(args.source)
+    write_summary(summary, args.out)
+    print(f"wrote {len(summary['metrics'])} metric(s) to {args.out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        diff_behavior,
+        parse_tolerance,
+        render_behavior_markdown,
+        render_behavior_text,
+    )
+
+    try:
+        rules = [parse_tolerance(item) for item in args.tolerance]
+    except ValueError as exc:
+        raise SystemExit(f"taq-obs: {exc}")
+    diff = diff_behavior(args.a, args.b, rules)
+    rendered = (
+        render_behavior_markdown(diff)
+        if args.markdown
+        else render_behavior_text(diff, show_ok=args.show_ok)
+    )
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    return 0 if diff.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="taq-obs",
@@ -144,6 +223,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     tail.add_argument("--for", dest="for_seconds", type=float, default=None,
                       metavar="SECONDS", help="stop after this long")
     tail.set_defaults(fn=_cmd_tail)
+
+    export = sub.add_parser(
+        "export", help="render a bundle's metrics as OpenMetrics text"
+    )
+    export.add_argument("bundle", help="telemetry bundle directory")
+    export.add_argument("--out", help="write to FILE instead of stdout")
+    export.set_defaults(fn=_cmd_export)
+
+    stability = sub.add_parser(
+        "stability", help="limit-cycle / Reynier verdict for a fluid run"
+    )
+    stability.add_argument(
+        "target", help="telemetry bundle directory or scenario .json"
+    )
+    stability.set_defaults(fn=_cmd_stability)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="reduce bundle(s) to a behavior summary JSON"
+    )
+    snapshot.add_argument("source", help="bundle directory or tree of bundles")
+    snapshot.add_argument("--out", required=True, help="summary file to write")
+    snapshot.set_defaults(fn=_cmd_snapshot)
+
+    diff = sub.add_parser(
+        "diff", help="behavioral diff of two runs (exit 1 on differences)"
+    )
+    diff.add_argument("a", help="baseline: bundle, tree, or summary JSON")
+    diff.add_argument("b", help="candidate: bundle, tree, or summary JSON")
+    diff.add_argument("--markdown", action="store_true",
+                      help="GitHub-table output for step summaries")
+    diff.add_argument("--tolerance", action="append", default=[],
+                      metavar="PAT=REL[:ABS]",
+                      help="loosen metrics matching PAT (repeatable)")
+    diff.add_argument("--show-ok", action="store_true",
+                      help="also list in-tolerance metrics")
+    diff.add_argument("--out", help="write the rendering to FILE")
+    diff.set_defaults(fn=_cmd_diff)
 
     args = parser.parse_args(argv)
     try:

@@ -13,6 +13,7 @@ Endpoints::
     GET  /cache/<key>   entry bytes, or 404
     PUT  /cache/<key>   store entry bytes (204)
     GET  /stats         {"kind": "http", "entries": N, "bytes": B, ...}
+    GET  /metrics       cache gauges/counters in OpenMetrics text format
     POST /prune         {"older_than_s": S|null} -> {"removed": N}
     GET  /healthz       "ok"
 
@@ -28,9 +29,12 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.parallel.cache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.export import Family
 
 __all__ = ["StoreHandler", "StoreServer", "serve_store"]
 
@@ -91,6 +95,13 @@ class StoreHandler(BaseHTTPRequestHandler):
             return
         if self.path.rstrip("/") == "/stats":
             self._send_json(self.server.store_stats())
+            return
+        if self.path.rstrip("/") == "/metrics":
+            from repro.obs.export import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+
+            text = render_openmetrics(self.server.metrics_families())
+            self._send(200, text.encode("utf-8"),
+                       content_type=OPENMETRICS_CONTENT_TYPE)
             return
         key = self._cache_key()
         if key is None:
@@ -160,6 +171,30 @@ class StoreServer(ThreadingHTTPServer):
         stats = self.cache.stats()
         stats["url"] = self.url
         return stats
+
+    def metrics_families(self) -> List["Family"]:
+        """The ``/metrics`` payload: cache occupancy and traffic,
+        labelled by backend kind so a dashboard scraping several stores
+        (dir, http, sqlite) aggregates without name collisions."""
+        from repro.obs.export import Family
+
+        stats = self.cache.stats()
+        kind = {"kind": str(stats.get("kind", "unknown"))}
+        families = [
+            Family("taq_cache_entries", "gauge",
+                   help="Entries currently in the result cache"
+                   ).add(stats.get("entries", 0), kind),
+            Family("taq_cache_bytes", "gauge",
+                   help="Bytes stored in the result cache"
+                   ).add(stats.get("bytes", 0), kind),
+            Family("taq_cache_hits", "counter",
+                   help="Cache lookups answered from the store"
+                   ).add(stats.get("hits", 0), kind),
+            Family("taq_cache_misses", "counter",
+                   help="Cache lookups that fell through to execution"
+                   ).add(stats.get("misses", 0), kind),
+        ]
+        return families
 
     def serve_in_background(self) -> threading.Thread:
         """Start serving on a daemon thread; returns the thread."""

@@ -18,6 +18,11 @@ On top of the store endpoints::
     GET  /results  done jobs only: id, label, wall, cached
                    (fetch a value via GET /cache/<id>)
     POST /cancel   pending jobs -> failed("cancelled"); running points finish
+    GET  /healthz  {"status", "jobs": {pending,running,...}, "executor":
+                   {"alive", "executing"}} — ?plain=1 keeps the old "ok"
+    GET  /metrics  the run-health plane in OpenMetrics text: job-store
+                   depth by state, executor liveness, cache traffic per
+                   backend kind, progress-bus heartbeat ages
 
 Layout under ``--root``::
 
@@ -37,7 +42,9 @@ import json
 import os
 import sys
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.parallel.cache import ResultCache
 from repro.parallel.httpstore import StoreHandler, StoreServer
@@ -162,6 +169,21 @@ class ExperimentService:
                 cancelled += 1
         return {"cancelled": cancelled}
 
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: queue depth by state plus whether
+        the executor thread is alive (a dead executor with pending jobs
+        is the failure mode a liveness probe exists to catch)."""
+        with self._lock:
+            counts = self.store.counts()
+            executing = self._executing
+        alive = self._thread.is_alive()
+        status = "ok" if alive else "degraded"
+        return {
+            "status": status,
+            "jobs": counts,
+            "executor": {"alive": alive, "executing": executing},
+        }
+
 
 class ServiceHandler(StoreHandler):
     """The store endpoints plus the experiment-service API."""
@@ -169,7 +191,21 @@ class ServiceHandler(StoreHandler):
     server: "ServiceServer"
 
     def do_GET(self) -> None:
-        path = self.path.rstrip("/")
+        # Only /healthz takes a query string (?plain=1); the store
+        # handler matches on the raw path, so split before dispatching.
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/")
+        if path == "/healthz":
+            payload = self.server.service.health()
+            if "plain" in parse_qs(parts.query):
+                body = payload["status"].encode("utf-8")
+                code = 200 if payload["status"] == "ok" else 503
+                self._send(code, body, content_type="text/plain")
+            else:
+                self._send_json(
+                    payload, code=200 if payload["status"] == "ok" else 503
+                )
+            return
         if path == "/status":
             self._send_json(self.server.service.status())
             return
@@ -220,6 +256,53 @@ class ServiceServer(StoreServer):
     def server_close(self) -> None:
         self.service.close()
         super().server_close()
+
+    def metrics_families(self):
+        """The store's cache families plus the service-plane health
+        metrics: job depth by state, executor liveness, and per-point
+        progress-bus heartbeat age (the live form of the ``stalled?``
+        marker ``taq-obs tail`` renders)."""
+        from repro.obs.export import Family
+        from repro.parallel.bus import read_bus
+        from repro.parallel.jobs import JOB_STATES
+
+        families = super().metrics_families()
+        health = self.service.health()
+        jobs = Family("taq_jobs", "gauge",
+                      help="Jobs in the durable store, by state")
+        for state in JOB_STATES:
+            jobs.add(health["jobs"].get(state, 0), {"state": state})
+        executor = Family("taq_executor_alive", "gauge",
+                          help="1 while the executor thread is alive")
+        executor.add(int(health["executor"]["alive"]))
+        busy = Family("taq_executor_busy", "gauge",
+                      help="1 while a batch is executing")
+        busy.add(int(health["executor"]["executing"]))
+        families.extend([jobs, executor, busy])
+
+        bus_state = read_bus(self.service.bus_dir)
+        points = bus_state.get("points", {})
+        if points:
+            now = time.time()
+            ages = Family(
+                "taq_bus_heartbeat_age_seconds", "gauge",
+                help="Seconds since each live point's last bus event",
+            )
+            by_status: Dict[str, int] = {}
+            for name, point in sorted(points.items()):
+                status = point.get("status", "pending")
+                by_status[status] = by_status.get(status, 0) + 1
+                last = point.get("last_seen")
+                if status == "running" and last is not None:
+                    ages.add(max(0.0, now - last), {"point": name})
+            if ages.samples:
+                families.append(ages)
+            statuses = Family("taq_bus_points", "gauge",
+                              help="Progress-bus points by status")
+            for status in sorted(by_status):
+                statuses.add(by_status[status], {"status": status})
+            families.append(statuses)
+        return families
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

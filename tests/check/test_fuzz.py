@@ -3,11 +3,14 @@
 import json
 import random
 
-from repro.build import ScenarioSpec
+from repro.build import ScenarioSpec, build_simulation
 from repro.check.fuzz import (
+    PROBE_PARITY_MODULUS,
     CaseResult,
     _candidates,
+    _probe_parity,
     run_campaign,
+    run_case,
     sample_document,
     shrink,
     write_repro,
@@ -133,6 +136,53 @@ def test_shrink_skips_crashing_candidates():
     shrunk = shrink(document, "synthetic", runner=runner)
     assert shrunk["duration"] >= 10.0
     assert calls["n"] >= 1
+
+
+def _fluid_document(seed):
+    return {
+        "name": f"fuzz-{seed}",
+        "seed": seed,
+        "duration": 8.0,
+        "topology": {"type": "dumbbell", "capacity_bps": 600_000,
+                     "rtt": 0.2, "pkt_size": 500},
+        "queue": {"kind": "red", "buffer_rtts": 1.0},
+        "workloads": [{"type": "bulk", "n_flows": 8}],
+        "backend": {"kind": "fluid"},
+    }
+
+
+def test_fluid_case_with_parity_seed_runs_armed_twin_clean():
+    # seed % PROBE_PARITY_MODULUS == 0 selects the parity arm; a healthy
+    # integrator must come back with zero violations from it.
+    seed = PROBE_PARITY_MODULUS * 3
+    assert run_case(_fluid_document(seed)) == []
+
+
+def test_probe_parity_detects_a_perturbed_run():
+    # Sabotage the "unarmed" result and check the comparison actually
+    # bites — guarding against a vacuously green parity check.
+    spec = ScenarioSpec.from_document(_fluid_document(0))
+    unarmed = build_simulation(spec)
+    unarmed.run()
+    assert _probe_parity(spec, unarmed) == []
+    unarmed.result.delivered_pkts += 1.0
+    violations = _probe_parity(spec, unarmed)
+    assert len(violations) == 1
+    assert violations[0].monitor == "fluid-probe-parity"
+    assert "delivered" in violations[0].message
+
+
+def test_sampler_reaches_parity_eligible_fluid_cases():
+    # The campaign keys parity off the document seed: enough sampled
+    # fluid cases must land on seed % modulus == 0 for the standing
+    # check to actually fire in CI campaigns.
+    eligible = 0
+    for case_seed in range(160):
+        document = sample_document(random.Random(case_seed), case_seed)
+        if (document.get("backend", {}).get("kind") == "fluid"
+                and document["seed"] % PROBE_PARITY_MODULUS == 0):
+            eligible += 1
+    assert eligible >= 5
 
 
 def test_write_repro_persists_document_and_violations(tmp_path):

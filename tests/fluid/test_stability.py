@@ -1,0 +1,154 @@
+"""RED stability diagnostics: limit-cycle detector and Reynier condition.
+
+The two pinned parameterizations are the PR's acceptance anchors: a
+known-oscillatory RED configuration (slow EWMA, steep ramp) must be
+flagged as a limit cycle, a known-stable one as stable — and in both
+cases the empirical verdict must agree with the analytic Reynier
+condition evaluated at the same operating point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fluid.stability import (
+    analyze_spec,
+    detect_limit_cycle,
+    render_stability,
+    reynier_condition,
+)
+
+#: Slow EWMA + maximally steep ramp between narrow thresholds: the
+#: averaged queue lags the instantaneous one by whole oscillation
+#: periods, so drops arrive out of phase and the loop rings forever.
+OSCILLATORY_DOC = {
+    "name": "red-oscillatory",
+    "seed": 1,
+    "duration": 120,
+    "topology": {"type": "dumbbell", "capacity_bps": 2_000_000,
+                 "rtt": 0.1, "pkt_size": 1000},
+    "queue": {"kind": "red", "buffer_rtts": 2.0,
+              "min_th": 10, "max_th": 14, "max_p": 1.0, "weight": 0.0005},
+    "workloads": [{"type": "bulk", "n_flows": 4, "extra_rtt_max": 0}],
+    "backend": {"kind": "fluid"},
+}
+
+#: The rule-of-thumb defaults at a larger population: gentle ramp, a
+#: responsive EWMA, 4x the flows (the loop gain scales as 1/N).
+STABLE_DOC = {
+    "name": "red-stable",
+    "seed": 1,
+    "duration": 120,
+    "topology": {"type": "dumbbell", "capacity_bps": 2_000_000,
+                 "rtt": 0.1, "pkt_size": 1000},
+    "queue": {"kind": "red", "buffer_rtts": 2.0,
+              "max_p": 0.1, "weight": 0.002},
+    "workloads": [{"type": "bulk", "n_flows": 16, "extra_rtt_max": 0}],
+    "backend": {"kind": "fluid"},
+}
+
+CAPACITY_PPS = 250.0  # 2 Mbps / 1000 B packets
+
+
+# ----------------------------------------------------------------------
+# Limit-cycle detector on synthetic trajectories
+# ----------------------------------------------------------------------
+
+def test_detector_flags_sustained_sine():
+    times = [i * 0.05 for i in range(2000)]
+    values = [20.0 + 8.0 * math.sin(2 * math.pi * t / 2.0) for t in times]
+    report = detect_limit_cycle(times, values)
+    assert report.oscillating
+    assert report.amplitude == pytest.approx(8.0, rel=0.1)
+    assert report.period == pytest.approx(2.0, rel=0.15)
+
+
+def test_detector_passes_decaying_transient():
+    times = [i * 0.05 for i in range(2000)]
+    values = [
+        20.0 + 10.0 * math.exp(-0.08 * t) * math.sin(2 * math.pi * t / 2.0)
+        for t in times
+    ]
+    report = detect_limit_cycle(times, values)
+    assert not report.oscillating  # decays: a transient, not a cycle
+
+
+def test_detector_passes_flat_trajectory():
+    times = [i * 0.1 for i in range(500)]
+    report = detect_limit_cycle(times, [13.6] * len(times))
+    assert not report.oscillating
+    assert report.amplitude == 0.0
+
+
+# ----------------------------------------------------------------------
+# The pinned parameterizations, end to end
+# ----------------------------------------------------------------------
+
+def test_oscillatory_red_flagged_as_limit_cycle():
+    report = analyze_spec(OSCILLATORY_DOC)
+    assert report.verdict == "limit-cycle"
+    assert report.oscillation is not None
+    assert report.oscillation.amplitude > 5.0
+    # Empirical and analytic verdicts must agree on the unstable side.
+    assert report.condition is not None
+    assert not report.condition.stable
+    assert report.condition.dominant_real > 0.0
+
+
+def test_stable_red_flagged_as_stable():
+    report = analyze_spec(STABLE_DOC)
+    assert report.verdict == "stable"
+    assert report.oscillation is not None
+    assert not report.oscillation.oscillating
+    assert report.condition is not None
+    assert report.condition.stable
+    assert report.condition.dominant_real < 0.0
+
+
+def test_reynier_condition_matches_pinned_cases():
+    unstable = reynier_condition(
+        w_q=0.0005, max_p=1.0, min_th=10, max_th=14,
+        capacity_pps=CAPACITY_PPS, n_flows=4, rtt=0.1,
+    )
+    assert not unstable.stable
+    stable = reynier_condition(
+        w_q=0.002, max_p=0.1, min_th=12.5, max_th=37.5,
+        capacity_pps=CAPACITY_PPS, n_flows=16, rtt=0.1,
+    )
+    assert stable.stable
+    # The margin orders the two configurations correctly.
+    assert unstable.dominant_real > stable.dominant_real
+
+
+def test_reynier_condition_population_crosses_stability_boundary():
+    """Loop gain scales as 1/N: the pinned oscillatory configuration
+    crosses into the stable region when the population quadruples."""
+    at_4 = reynier_condition(
+        w_q=0.0005, max_p=1.0, min_th=10, max_th=14,
+        capacity_pps=CAPACITY_PPS, n_flows=4, rtt=0.1,
+    )
+    at_16 = reynier_condition(
+        w_q=0.0005, max_p=1.0, min_th=10, max_th=14,
+        capacity_pps=CAPACITY_PPS, n_flows=16, rtt=0.1,
+    )
+    assert not at_4.stable
+    assert at_16.stable
+
+
+def test_reynier_condition_validates_params():
+    with pytest.raises(ValueError):
+        reynier_condition(w_q=0.0, max_p=0.1, min_th=5, max_th=15,
+                          capacity_pps=250.0, n_flows=4, rtt=0.1)
+    with pytest.raises(ValueError):
+        reynier_condition(w_q=0.002, max_p=0.1, min_th=15, max_th=5,
+                          capacity_pps=250.0, n_flows=4, rtt=0.1)
+
+
+def test_render_stability_mentions_verdict_and_params():
+    report = analyze_spec(OSCILLATORY_DOC)
+    text = render_stability(report)
+    assert "limit-cycle" in text
+    assert "Reynier" in text
+    assert "w_q" in text

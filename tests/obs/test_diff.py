@@ -1,0 +1,158 @@
+"""Behavioral diffing: summaries, tolerance rules, renderings, CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    BEHAVIOR_SCHEMA,
+    ToleranceRule,
+    behavior_summary,
+    diff_behavior,
+    parse_tolerance,
+    render_behavior_markdown,
+    render_behavior_text,
+    write_summary,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _bundle(path, drops=5, util=0.9):
+    telemetry = Telemetry(str(path))
+    telemetry.registry.counter("queue.drops").inc(drops)
+    series = telemetry.registry.time_series("outcome.utilization")
+    series.append(10.0, util)
+    telemetry.finalize(None, run_id=path.name, seed=1, duration=10.0,
+                       qdisc={"kind": "droptail"})
+    return str(path)
+
+
+def test_summary_flattens_single_bundle(tmp_path):
+    summary = behavior_summary(_bundle(tmp_path / "run"))
+    assert summary["schema"] == BEHAVIOR_SCHEMA
+    metrics = summary["metrics"]
+    assert metrics["counter.queue.drops"] == 5.0
+    assert metrics["series.outcome.utilization.last"] == 0.9
+    assert summary["manifests"]["."]["qdisc"] == "droptail"
+
+
+def test_summary_prefixes_bundle_trees(tmp_path):
+    _bundle(tmp_path / "a")
+    _bundle(tmp_path / "b", drops=7)
+    summary = behavior_summary(str(tmp_path))
+    assert summary["metrics"]["a/counter.queue.drops"] == 5.0
+    assert summary["metrics"]["b/counter.queue.drops"] == 7.0
+
+
+def test_summary_round_trips_through_file(tmp_path):
+    summary = behavior_summary(_bundle(tmp_path / "run"))
+    out = tmp_path / "baseline.json"
+    write_summary(summary, str(out))
+    loaded = behavior_summary(str(out))
+    assert loaded["metrics"] == summary["metrics"]
+
+
+def test_summary_rejects_non_summary_json(tmp_path):
+    bogus = tmp_path / "x.json"
+    bogus.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError):
+        behavior_summary(str(bogus))
+    with pytest.raises(FileNotFoundError):
+        behavior_summary(str(tmp_path / "missing"))
+
+
+def test_identical_bundles_diff_clean(tmp_path):
+    a = _bundle(tmp_path / "a")
+    b = _bundle(tmp_path / "b")
+    diff = diff_behavior(a, b)
+    assert diff.ok
+    assert diff.out_of_tolerance == []
+    assert "OK" in render_behavior_text(diff)
+    assert "✅" in render_behavior_markdown(diff)
+
+
+def test_changed_counter_is_flagged(tmp_path):
+    a = _bundle(tmp_path / "a", drops=5)
+    b = _bundle(tmp_path / "b", drops=9)
+    diff = diff_behavior(a, b)
+    assert not diff.ok
+    names = [row.name for row in diff.out_of_tolerance]
+    assert "counter.queue.drops" in names
+    text = render_behavior_text(diff)
+    assert "DIFFER" in text
+    markdown = render_behavior_markdown(diff)
+    assert "**OUT OF TOLERANCE**" in markdown and "❌" in markdown
+
+
+def test_tolerance_rule_forgives_matching_metric(tmp_path):
+    a = _bundle(tmp_path / "a", util=0.90)
+    b = _bundle(tmp_path / "b", util=0.91)
+    assert not diff_behavior(a, b).ok
+    loose = diff_behavior(a, b, [ToleranceRule("series.outcome.*", rel=0.05)])
+    assert loose.ok
+
+
+def test_one_sided_metrics_fail_the_diff(tmp_path):
+    a = behavior_summary(_bundle(tmp_path / "a"))
+    b = behavior_summary(_bundle(tmp_path / "b"))
+    b = dict(b)
+    b["metrics"] = dict(b["metrics"])
+    b["metrics"]["counter.new.thing"] = 1.0
+    diff = diff_behavior(a, b)
+    assert not diff.ok
+    assert diff.only_in_b == ["counter.new.thing"]
+
+
+def test_manifest_changes_are_informational(tmp_path):
+    a = _bundle(tmp_path / "a")
+    b_dir = tmp_path / "b"
+    _bundle(b_dir)
+    # Rewrite b's manifest with a different source hash: provenance
+    # changed, behavior did not — the diff must stay ok.
+    manifest_path = b_dir / "manifest.json"
+    doc = json.loads(manifest_path.read_text())
+    doc["source_hash"] = "f" * 64
+    manifest_path.write_text(json.dumps(doc))
+    diff = diff_behavior(a, str(b_dir))
+    assert diff.ok
+    assert diff.manifest_changes
+
+
+def test_parse_tolerance_forms():
+    rule = parse_tolerance("series.*=0.05")
+    assert rule.pattern == "series.*" and rule.rel == 0.05
+    rule = parse_tolerance("hist.*=0.1:2.0")
+    assert rule.rel == 0.1 and rule.abs == 2.0
+    with pytest.raises(ValueError):
+        parse_tolerance("no-equals")
+    with pytest.raises(ValueError):
+        parse_tolerance("pat=notanumber")
+
+
+def test_cli_diff_exit_codes(tmp_path, capsys):
+    from repro.obs.cli import main
+
+    a = _bundle(tmp_path / "a", drops=5)
+    b = _bundle(tmp_path / "b", drops=5)
+    c = _bundle(tmp_path / "c", drops=99)
+    assert main(["diff", a, b]) == 0
+    assert main(["diff", a, c]) == 1
+    out = capsys.readouterr().out
+    assert "DIFFER" in out
+    assert main(["diff", a, c, "--tolerance", "counter.queue.drops=100"]) == 0
+
+
+def test_cli_snapshot_and_summary_diff(tmp_path, capsys):
+    from repro.obs.cli import main
+
+    a = _bundle(tmp_path / "a")
+    baseline = tmp_path / "baseline.json"
+    assert main(["snapshot", a, "--out", str(baseline)]) == 0
+    b = _bundle(tmp_path / "b")
+    assert main(["diff", str(baseline), b]) == 0
+    out_md = tmp_path / "diff.md"
+    assert main(["diff", str(baseline), b, "--markdown",
+                 "--out", str(out_md)]) == 0
+    assert "✅" in out_md.read_text()

@@ -9,6 +9,7 @@ import json
 import pytest
 
 from repro.obs import diff_manifests, load_manifest
+from repro.obs import manifest as manifest_mod
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 
 
@@ -104,8 +105,25 @@ def test_diff_reports_substantive_differences():
     b = dataclasses.replace(a, seed=10, qdisc={"kind": "droptail"})
     diff = diff_manifests(a, b)
     assert diff["seed"] == (9, 10)
-    assert diff["qdisc"] == ({"kind": "taq"}, {"kind": "droptail"})
+    assert diff["qdisc.kind"] == ("taq", "droptail")
     assert "wall_time_s" not in diff
+
+
+def test_diff_surfaces_backend_changes_with_dotted_paths():
+    """A packet-vs-fluid pair must report the backend mismatch as a
+    dotted path, not hide it or dump whole dicts."""
+    a = build_manifest("run-a", 9, backend={"kind": "packet"})
+    b = dataclasses.replace(a, backend={"kind": "fluid", "rtt_buckets": 4})
+    diff = diff_manifests(a, b)
+    assert diff["backend.kind"] == ("packet", "fluid")
+    assert diff["backend.rtt_buckets"] == (manifest_mod.MISSING, 4)
+    assert "backend" not in diff  # only leaves, never whole documents
+
+
+def test_diff_ignores_schema_version():
+    a = build_manifest("run-a", 9)
+    b = dataclasses.replace(a, run_id="run-b", schema_version=3)
+    assert diff_manifests(a, b) == {}
 
 
 def test_manifest_json_payload_shape():

@@ -197,6 +197,77 @@ class TestExperimentsSpansFlag:
         assert "single file" in capsys.readouterr().err
 
 
+FLUID_SCENARIO = {
+    "name": "obs-cli-fluid",
+    "seed": 1,
+    "duration": 30.0,
+    "topology": {"type": "dumbbell", "capacity_bps": 2_000_000,
+                 "rtt": 0.1, "pkt_size": 1000},
+    "queue": {"kind": "red", "buffer_rtts": 2.0,
+              "min_th": 10, "max_th": 14, "max_p": 1.0, "weight": 0.0005},
+    "workloads": [{"type": "bulk", "n_flows": 4, "extra_rtt_max": 0}],
+    "backend": {"kind": "fluid"},
+}
+
+
+class TestExportAndStability:
+    def test_telemetry_dir_bundles_then_export_round_trips(self, tmp_path,
+                                                           capsys):
+        """scenario --telemetry-dir writes one bundle per scenario, and
+        taq-obs export renders it as well-formed OpenMetrics."""
+        from repro.obs.export import validate_openmetrics
+
+        document = dict(SCENARIO, duration=5.0)
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(json.dumps(document), encoding="utf-8")
+        tele = tmp_path / "tele"
+        code = experiments_main(
+            ["scenario", str(scenario), "--telemetry-dir", str(tele)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry bundles under" in out
+        bundle = tele / "obs-cli"
+        assert (bundle / "metrics.jsonl").is_file()
+
+        assert obs_main(["export", str(bundle)]) == 0
+        text = capsys.readouterr().out
+        assert validate_openmetrics(text) == []
+        assert "taq_run_info" in text
+        assert text.rstrip().endswith("# EOF")
+
+        out_file = tmp_path / "metrics.om"
+        assert obs_main(["export", str(bundle), "--out", str(out_file)]) == 0
+        assert validate_openmetrics(out_file.read_text()) == []
+
+    def test_stability_on_fluid_bundle_and_scenario_file(self, tmp_path,
+                                                         capsys):
+        scenario = tmp_path / "fluid.json"
+        scenario.write_text(json.dumps(FLUID_SCENARIO), encoding="utf-8")
+        tele = tmp_path / "tele"
+        code = experiments_main(
+            ["scenario", str(scenario), "--telemetry-dir", str(tele)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        bundle = tele / "obs-cli-fluid"
+
+        # Bundle directory: re-analyzes the recorded trajectory.
+        assert obs_main(["stability", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "limit-cycle" in out
+        assert "Reynier" in out
+
+        # Scenario file: runs the fluid model and analyzes the result.
+        assert obs_main(["stability", str(scenario)]) == 0
+        assert "limit-cycle" in capsys.readouterr().out
+
+    def test_stability_rejects_non_fluid_target(self, tmp_path):
+        bogus = tmp_path / "nope"
+        with pytest.raises(SystemExit):
+            obs_main(["stability", str(bogus)])
+
+
 class TestTelemetrySpans:
     def test_finalize_writes_spans_jsonl_and_summary_rolls_up(self, tmp_path):
         recorder = SpanRecorder()

@@ -185,6 +185,75 @@ class TestRenderTail:
         assert "1/2 done" in text
         assert "cached" in text
 
+    def test_stale_heartbeat_from_real_bus_files_renders_stalled(self, tmp_path):
+        """End to end through the on-disk format: a point whose last
+        heartbeat is older than STALL_INTERVALS x the heartbeat period
+        must render with the stalled marker when tailed."""
+        bus = ProgressBus(str(tmp_path))
+        bus.announce(1, "fig02")
+        key = point_key(0, "x=1")
+        bus.emit(key, "start", pid=42)
+        bus.emit(key, "heartbeat", elapsed=2.0)
+        state = read_bus(str(tmp_path))
+        last = state["points"][key]["last_seen"]
+        assert last is not None
+        stale_now = last + STALL_INTERVALS * HEARTBEAT_INTERVAL + 0.1
+        assert "(stalled?)" in render_tail(state, now=stale_now)
+        # A beat inside the window clears the marker.
+        assert "(stalled?)" not in render_tail(state, now=last + 1.0)
+
+    def test_failed_event_survives_torn_tail(self, tmp_path):
+        """A crash report followed by a torn mid-append line must still
+        read (and render) as failed — the torn junk is dropped, not the
+        terminal state before it."""
+        bus = ProgressBus(str(tmp_path))
+        key = point_key(0, "x=1")
+        bus.emit(key, "start", pid=7)
+        bus.emit(key, "failed", error="worker died")
+        with open(tmp_path / f"{key}.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"t": 99.0, "kind": "heartb')  # torn mid-append
+        state = read_bus(str(tmp_path))
+        point = state["points"][key]
+        assert point["status"] == "failed"
+        assert point["error"] == "worker died"
+        text = render_tail(state, now=time.time())
+        assert "failed: worker died" in text
+
+
+class TestTailCli:
+    def test_tail_once_renders_stalled_point(self, tmp_path, capsys, monkeypatch):
+        """taq-obs tail --once on a bus whose running point went silent
+        shows the stalled marker."""
+        from repro.obs.cli import main
+
+        bus = ProgressBus(str(tmp_path))
+        bus.announce(1, "fig02")
+        key = point_key(0, "x=1")
+        bus.emit(key, "start", pid=42)
+        state = read_bus(str(tmp_path))
+        last = state["points"][key]["last_seen"]
+        stale_now = last + STALL_INTERVALS * HEARTBEAT_INTERVAL + 5.0
+        monkeypatch.setattr(time, "time", lambda: stale_now)
+        assert main(["tail", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "(stalled?)" in out
+
+    def test_tail_once_renders_failed_point_despite_torn_tail(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.cli import main
+
+        bus = ProgressBus(str(tmp_path))
+        bus.announce(1, "fig02")
+        key = point_key(0, "x=1")
+        bus.emit(key, "failed", error="boom")
+        with open(tmp_path / f"{key}.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"t": 1.0, "kind": "done", "wal')
+        assert main(["tail", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "failed: boom" in out
+        assert "1 failed" in out
+
 
 # ----------------------------------------------------------------------
 # Runner integration: an armed sweep records every point

@@ -170,7 +170,73 @@ class TestValidation:
 
     def test_store_endpoints_still_work(self, server):
         assert get_json(f"{server.url}/stats")["kind"] == "dir"
-        assert get_bytes(f"{server.url}/healthz") == b"ok"
+        # The plain-text liveness contract survives behind ?plain=1.
+        assert get_bytes(f"{server.url}/healthz?plain=1") == b"ok"
+
+
+class TestRunHealthPlane:
+    def test_healthz_reports_job_depth_and_executor(self, server):
+        health = get_json(f"{server.url}/healthz")
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"pending", "running", "done", "failed"}
+        assert health["executor"]["alive"] is True
+
+        points = [{"fn": SQUARE, "kwargs": {"x": x}} for x in (31, 32)]
+        post_json(f"{server.url}/submit", {"points": points})
+        wait_done(server.url, 2)
+        health = get_json(f"{server.url}/healthz")
+        assert health["jobs"]["done"] == 2
+        assert health["jobs"]["pending"] == 0
+
+    def test_metrics_endpoint_serves_valid_openmetrics(self, server):
+        from repro.obs.export import (
+            OPENMETRICS_CONTENT_TYPE,
+            parse_openmetrics,
+            validate_openmetrics,
+        )
+
+        points = [{"fn": SQUARE, "kwargs": {"x": x}} for x in (41, 42, 43)]
+        post_json(f"{server.url}/submit", {"points": points})
+        wait_done(server.url, 3)
+
+        with http_open(f"{server.url}/metrics") as response:
+            assert response.headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        assert validate_openmetrics(text) == []
+        families = parse_openmetrics(text)
+
+        jobs = {s["labels"]["state"]: s["value"]
+                for s in families["taq_jobs"]["samples"]}
+        assert jobs["done"] == 3.0
+        assert families["taq_executor_alive"]["samples"][0]["value"] == 1.0
+
+        cache = {s["labels"]["kind"]: s["value"]
+                 for s in families["taq_cache_entries"]["samples"]}
+        assert cache == {"dir": 3.0}
+        assert "taq_cache_hits" in families
+        assert "taq_cache_misses" in families
+
+        # The executor ran points through the bus: their status shows up.
+        assert "taq_bus_points" in families
+        statuses = {s["labels"]["status"]
+                    for s in families["taq_bus_points"]["samples"]}
+        assert statuses <= {"pending", "running", "done", "cached", "failed"}
+
+    def test_plain_store_metrics_endpoint(self, tmp_path):
+        from repro.obs.export import validate_openmetrics
+        from repro.parallel.httpstore import StoreServer
+
+        srv = StoreServer(str(tmp_path / "store"))
+        srv.serve_in_background()
+        try:
+            text = get_bytes(f"{srv.url}/metrics").decode("utf-8")
+        finally:
+            srv.shutdown()
+            srv.server_close()
+        assert validate_openmetrics(text) == []
+        assert "taq_cache_entries" in text
+        # The bare store has no job queue: no service families leak in.
+        assert "taq_jobs" not in text
 
 
 class TestDurability:
